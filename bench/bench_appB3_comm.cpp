@@ -1,0 +1,97 @@
+// E7 — Appendix B.3: communication complexity (words) and the latency
+// trade of the O(n^2 log n) vector consensus (Algorithm 6).
+//
+// (a) words sent by correct processes >= GST vs n: Algorithm 1 carries
+//     linear-size vectors inside Quad, giving Theta(n^3) words; Algorithm 6
+//     runs Quad over constant-size (hash, threshold-signature) pairs and
+//     disseminates vectors via slow broadcast + ADD, giving ~n^2 (the
+//     log n factor is invisible at these sizes).
+// (b) the price: slow broadcast waits delta * n^i between sends, so the
+//     latency of Algorithm 6 explodes exponentially with the index of the
+//     first correct discoverer (silencing P0..Pf-1 shifts it), while
+//     Algorithm 1 stays at a small constant number of delta.
+#include <cstdio>
+#include <vector>
+
+#include "valcon/harness/scenario.hpp"
+#include "valcon/harness/table.hpp"
+
+using namespace valcon;
+using harness::ScenarioConfig;
+
+namespace {
+
+ScenarioConfig scenario(int n, harness::VcKind kind, int silent_prefix) {
+  ScenarioConfig cfg;
+  cfg.n = n;
+  cfg.t = (n - 1) / 3;
+  cfg.vc = kind;
+  cfg.horizon = 1e15;  // slow broadcast can run for a long simulated time
+  for (int p = 0; p < n; ++p) cfg.proposals.push_back(p % 2);
+  for (int f = 0; f < silent_prefix; ++f) {
+    cfg.faults[f] = {harness::FaultKind::kSilent, 0.0};
+  }
+  return cfg;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==== E7 / Appendix B.3: words on the wire and the latency "
+              "trade ====\n\n");
+  const core::StrongValidity validity;
+
+  std::printf("(a) communication complexity (words, correct senders >= GST)\n");
+  harness::Table words({"n", "t", "words fast(Alg6)", "words auth(Alg1)",
+                        "auth/fast"});
+  std::vector<double> ns;
+  std::vector<double> fast_words;
+  std::vector<double> auth_words;
+  for (const int n : {4, 7, 10, 13, 16, 22, 31}) {
+    const int t = (n - 1) / 3;
+    const auto lambda = core::make_lambda(validity, n, t);
+    const auto fast =
+        harness::run_universal(scenario(n, harness::VcKind::kFast, 0), lambda);
+    const auto auth = harness::run_universal(
+        scenario(n, harness::VcKind::kAuthenticated, 0), lambda);
+    words.add_row(
+        {std::to_string(n), std::to_string(t),
+         std::to_string(fast.word_complexity),
+         std::to_string(auth.word_complexity),
+         harness::fmt(static_cast<double>(auth.word_complexity) /
+                      static_cast<double>(fast.word_complexity), 2)});
+    ns.push_back(n);
+    fast_words.push_back(static_cast<double>(fast.word_complexity));
+    auth_words.push_back(static_cast<double>(auth.word_complexity));
+  }
+  words.print();
+  std::printf("log-log slopes, words vs n: fast(Alg6) = %.2f (paper: "
+              "O(n^2 log n)), auth(Alg1) = %.2f (paper: O(n^3))\n\n",
+              harness::loglog_slope(ns, fast_words),
+              harness::loglog_slope(ns, auth_words));
+
+  std::printf("(b) latency vs index of the first correct disseminator "
+              "(n = 7, t = 2; P0..Pf-1 silent)\n");
+  harness::Table latency({"silent prefix f", "latency fast(Alg6) / delta",
+                          "latency auth(Alg1) / delta"});
+  for (const int f : {0, 1, 2}) {
+    const int n = 7;
+    const int t = 2;
+    const auto lambda = core::make_lambda(validity, n, t);
+    const auto fast = harness::run_universal(
+        scenario(n, harness::VcKind::kFast, f), lambda);
+    const auto auth = harness::run_universal(
+        scenario(n, harness::VcKind::kAuthenticated, f), lambda);
+    latency.add_row({std::to_string(f),
+                     harness::fmt(fast.last_decision_time, 1),
+                     harness::fmt(auth.last_decision_time, 1)});
+  }
+  latency.print();
+  std::printf(
+      "\nReading: each silenced low-index process multiplies Algorithm 6's\n"
+      "slow-broadcast pacing by ~n (delta * n^i waits): exponential\n"
+      "worst-case latency, exactly the impracticality the paper concedes\n"
+      "for its communication-optimal construction. Algorithm 1 is\n"
+      "unaffected (linear latency after GST).\n");
+  return 0;
+}

@@ -1,0 +1,131 @@
+// E1 — Figure 1: the landscape of validity properties.
+//
+// Regenerates the paper's classification picture over finite domains:
+//  (a) the named properties placed on the map for n <= 3t and n > 3t;
+//  (b) a random sample of the property space (table-based properties)
+//      counted into trivial / solvable / unsolvable — empirically showing
+//      trivial ⊂ solvable and, at n <= 3t, solvable = trivial (Thm 1+2);
+//  (c) the solvability frontier of Correct-Proposal validity as a function
+//      of the proposal-domain size (a pigeonhole consequence of C_S).
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "valcon/core/classification.hpp"
+#include "valcon/harness/table.hpp"
+#include "valcon/sim/rng.hpp"
+
+using namespace valcon;
+using namespace valcon::core;
+
+namespace {
+
+void named_properties_map() {
+  std::printf("(a) Named validity properties on the Figure 1 map\n");
+  harness::Table table({"property", "n", "t", "trivial", "C_S", "solvable"});
+  const std::vector<Value> domain = {0, 1};
+  const std::vector<std::pair<int, int>> systems = {{3, 1}, {4, 1}, {6, 2},
+                                                    {7, 2}};
+  for (const auto& [n, t] : systems) {
+    const StrongValidity strong;
+    const WeakValidity weak;
+    const CorrectProposalValidity correct;
+    const ConvexHullValidity hull;
+    const MedianValidity median(n, t);
+    const ConstantValidity constant(0);
+    const ConstantValidity any(0, /*exclusive=*/false);
+    for (const ValidityProperty* val :
+         {static_cast<const ValidityProperty*>(&strong),
+          static_cast<const ValidityProperty*>(&weak),
+          static_cast<const ValidityProperty*>(&correct),
+          static_cast<const ValidityProperty*>(&hull),
+          static_cast<const ValidityProperty*>(&median),
+          static_cast<const ValidityProperty*>(&constant),
+          static_cast<const ValidityProperty*>(&any)}) {
+      const auto result = classify(*val, n, t, domain, domain);
+      table.add_row({val->name(), std::to_string(n), std::to_string(t),
+                     result.trivial ? "yes" : "no",
+                     result.similarity_condition ? "yes" : "no",
+                     result.solvable ? "yes" : "no"});
+    }
+  }
+  table.print();
+}
+
+void random_property_landscape() {
+  std::printf(
+      "\n(b) Random table-based properties (n = 3, t = 1 vs n = 4, t = 1; "
+      "binary domain, 400 samples each)\n");
+  harness::Table table({"system", "samples", "trivial", "C_S holds",
+                        "solvable", "solvable&&non-trivial"});
+  const std::vector<Value> domain = {0, 1};
+  for (const auto& [n, t] : std::vector<std::pair<int, int>>{{3, 1}, {4, 1}}) {
+    sim::Rng rng(7);
+    const auto configs = enumerate_configs(n, t, domain);
+    int trivial = 0, cs = 0, solvable = 0, nontrivial_solvable = 0;
+    const int samples = 400;
+    // Bias towards permissive properties (each value inadmissible with
+    // probability 1/2^bits); uniform sampling over 2^|I| constraint sets
+    // almost surely yields globally inconsistent — hence unsolvable —
+    // properties, which would make the landscape look empty.
+    const std::uint64_t deny_one_in = (n == 3) ? 8 : 16;
+    for (int i = 0; i < samples; ++i) {
+      TableValidity::Table spec;
+      for (const auto& c : configs) {
+        std::set<Value> admissible;
+        for (const Value v : domain) {
+          if (rng.next_below(deny_one_in) != 0) admissible.insert(v);
+        }
+        if (admissible.empty()) admissible.insert(rng.next_below(2));
+        spec[c] = admissible;
+      }
+      const TableValidity val(std::move(spec));
+      const auto result = classify(val, n, t, domain, domain);
+      trivial += result.trivial ? 1 : 0;
+      cs += result.similarity_condition ? 1 : 0;
+      solvable += result.solvable ? 1 : 0;
+      nontrivial_solvable += (result.solvable && !result.trivial) ? 1 : 0;
+    }
+    table.add_row({"n=" + std::to_string(n) + ",t=" + std::to_string(t),
+                   std::to_string(samples), std::to_string(trivial),
+                   std::to_string(cs), std::to_string(solvable),
+                   std::to_string(nontrivial_solvable)});
+  }
+  table.print();
+  std::printf(
+      "  shape check: at n = 3t no solvable property is non-trivial "
+      "(Theorem 1); at n = 3t+1 some are (Universal solves them).\n");
+}
+
+void correct_proposal_frontier() {
+  std::printf(
+      "\n(c) Correct-Proposal validity: solvability frontier vs domain "
+      "size (Theorem 3's C_S, pigeonhole)\n");
+  harness::Table table({"n", "t", "|V|", "C_S / solvable",
+                        "pigeonhole predicts"});
+  for (const auto& [n, t] : std::vector<std::pair<int, int>>{{4, 1}, {5, 1},
+                                                             {7, 2}}) {
+    for (int domain_size = 2; domain_size <= 4; ++domain_size) {
+      std::vector<Value> domain;
+      for (int v = 0; v < domain_size; ++v) domain.push_back(v);
+      const CorrectProposalValidity val;
+      const auto result = classify(val, n, t, domain, domain);
+      const bool predicted = (n - t) > domain_size * t;
+      table.add_row({std::to_string(n), std::to_string(t),
+                     std::to_string(domain_size),
+                     result.solvable ? "yes" : "no",
+                     predicted ? "yes" : "no"});
+    }
+  }
+  table.print();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==== E1 / Figure 1: classification of validity properties ====\n\n");
+  named_properties_map();
+  random_property_landscape();
+  correct_proposal_frontier();
+  return 0;
+}

@@ -1,0 +1,75 @@
+// E8 — Section 5.2: one Universal, every solvable validity property.
+//
+// Runs the same deployment (n = 7, t = 2, mixed proposals, silent faults)
+// under each validity property in the zoo, swapping only Λ — the
+// demonstration that "any non-trivial consensus variant solvable in partial
+// synchrony can be solved using vector consensus" (Section 5.2's design
+// message). Reports the decided value, a check that it is admissible for
+// the *actual* input configuration, and the run's complexity.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "valcon/harness/scenario.hpp"
+#include "valcon/harness/table.hpp"
+
+using namespace valcon;
+using namespace valcon::core;
+using harness::ScenarioConfig;
+
+int main() {
+  std::printf("==== E8 / Section 5.2: Universal across the validity zoo "
+              "====\n\n");
+  const int n = 7;
+  const int t = 2;
+  ScenarioConfig cfg;
+  cfg.n = n;
+  cfg.t = t;
+  cfg.vc = harness::VcKind::kAuthenticated;
+  cfg.proposals = {4, 1, 3, 1, 0, 2, 1};
+  cfg.faults[5] = {harness::FaultKind::kSilent, 0.0};
+  cfg.faults[6] = {harness::FaultKind::kSilent, 0.0};
+
+  InputConfig real(n);
+  for (ProcessId p = 0; p < n; ++p) {
+    if (cfg.faults.count(p) == 0) {
+      real.set(p, cfg.proposals[static_cast<std::size_t>(p)]);
+    }
+  }
+  std::printf("input configuration: %s\n\n", real.to_string().c_str());
+
+  const StrongValidity strong;
+  const WeakValidity weak;
+  const MedianValidity median(n, t);
+  const IntervalValidity interval(3, 2);  // k in [t+1, n-2t] = [3, 3]
+  const ConvexHullValidity hull;
+  const ConstantValidity constant(9);
+  harness::Table table({"validity property", "decision", "admissible",
+                        "agreement", "msgs >= GST", "latency/delta"});
+  for (const ValidityProperty* val :
+       {static_cast<const ValidityProperty*>(&strong),
+        static_cast<const ValidityProperty*>(&weak),
+        static_cast<const ValidityProperty*>(&median),
+        static_cast<const ValidityProperty*>(&interval),
+        static_cast<const ValidityProperty*>(&hull),
+        static_cast<const ValidityProperty*>(&constant)}) {
+    const auto lambda = make_lambda(*val, n, t);
+    const auto result = harness::run_universal(cfg, lambda);
+    const auto decision = result.common_decision();
+    table.add_row(
+        {val->name(),
+         decision.has_value() ? std::to_string(*decision) : "-",
+         decision.has_value() && val->admissible(real, *decision) ? "yes"
+                                                                  : "NO",
+         result.agreement() ? "yes" : "NO",
+         std::to_string(result.message_complexity),
+         harness::fmt(result.last_decision_time, 1)});
+  }
+  table.print();
+  std::printf(
+      "\nReading: the protocol stack (vector consensus) is identical in\n"
+      "every row; only the Λ post-processing differs. Each decision is\n"
+      "admissible under its property for the true input configuration —\n"
+      "Lemma 8's argument, observed.\n");
+  return 0;
+}

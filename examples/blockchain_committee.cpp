@@ -1,0 +1,109 @@
+// Committee-based blockchain ordering — the Appendix C motivation.
+//
+// Clients sign transactions; servers (the consensus committee) must agree
+// on which batch to commit next. The paper's Appendix C sketches an
+// extended formalism for such External Validity settings; the executable
+// takeaway it *does* establish (Section 5.2) is that vector consensus is a
+// universal substrate: the committee agrees on a vector of n-t proposed
+// batches and applies a deterministic, externally-validated selection rule
+// to it.
+//
+// Here each server proposes the digest-id of the client batch it saw
+// first; the selection rule picks the smallest id in the decided vector
+// that passes the external predicate ("batch is well-signed" — simulated
+// as parity of the id). A Byzantine server pushing an invalid batch id
+// cannot get it committed: either its entry is filtered by the predicate,
+// or it never enters the vector at all.
+#include <cstdio>
+#include <memory>
+
+#include "valcon/consensus/auth_vector_consensus.hpp"
+#include "valcon/sim/adversary.hpp"
+#include "valcon/sim/simulator.hpp"
+
+using namespace valcon;
+
+namespace {
+
+/// External predicate: batch ids from honest clients are even (stands in
+/// for "carries valid client signatures / no double spend").
+bool externally_valid(Value batch_id) { return batch_id % 2 == 0; }
+
+/// Deterministic selection from the agreed vector: smallest valid batch.
+std::optional<Value> select_batch(const core::InputConfig& vec) {
+  std::optional<Value> best;
+  for (const Value v : vec.sorted_proposals()) {
+    if (externally_valid(v)) {
+      best = v;
+      break;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const int n = 7;
+  const int t = 2;
+
+  sim::SimConfig sim_cfg;
+  sim_cfg.n = n;
+  sim_cfg.t = t;
+  sim_cfg.seed = 2026;
+  sim::Simulator simulator(sim_cfg);
+
+  // Batches observed by each server (id = client batch digest). P2 is a
+  // Byzantine server proposing an invalid (odd) batch id; P6 is down.
+  const std::vector<Value> observed = {104, 100, 4242 * 2 + 1, 102,
+                                       100, 104, 0};
+  std::map<ProcessId, std::optional<Value>> committed;
+
+  for (ProcessId p = 0; p < n; ++p) {
+    if (p == 6) {
+      simulator.mark_faulty(p);
+      simulator.add_process(p, std::make_unique<sim::SilentProcess>());
+      continue;
+    }
+    if (p == 2) simulator.mark_faulty(p);  // proposes an invalid batch
+    auto vc = std::make_unique<consensus::AuthVectorConsensus>();
+    vc->set_input(observed[static_cast<std::size_t>(p)]);
+    vc->set_on_decide(
+        [&committed, p](sim::Context&, const core::InputConfig& vec) {
+          committed[p] = select_batch(vec);
+        });
+    simulator.add_process(
+        p, std::make_unique<sim::ComponentHost>(std::move(vc)));
+  }
+
+  simulator.run(1e6);
+
+  std::printf("server proposals  : ");
+  for (ProcessId p = 0; p < n; ++p) {
+    std::printf("P%d=%lld%s ", p, static_cast<long long>(observed[static_cast<std::size_t>(p)]),
+                p == 2 ? "(byz)" : (p == 6 ? "(down)" : ""));
+  }
+  std::printf("\n");
+
+  std::optional<Value> agreed;
+  bool agreement = true;
+  for (const auto& [pid, batch] : committed) {
+    if (pid == 2 || pid == 6) continue;
+    if (agreed.has_value() && agreed != batch) agreement = false;
+    agreed = batch.value_or(-1);
+  }
+  if (!agreed.has_value()) {
+    std::printf("committee failed to commit a batch\n");
+    return 1;
+  }
+  std::printf("committed batch   : %lld\n", static_cast<long long>(*agreed));
+  std::printf("externally valid  : %s\n",
+              externally_valid(*agreed) ? "yes" : "NO");
+  std::printf("committee agrees  : %s\n", agreement ? "yes" : "NO");
+  std::printf(
+      "note: the Byzantine server's invalid batch (odd id) cannot be\n"
+      "committed — the selection rule runs on an agreed vector, so every\n"
+      "honest server filters it identically (vector consensus as the\n"
+      "universal substrate, Section 5.2).\n");
+  return (agreement && externally_valid(*agreed)) ? 0 : 1;
+}

@@ -1,0 +1,90 @@
+#include "valcon/bcast/brb.hpp"
+
+namespace valcon::bcast {
+
+namespace {
+
+crypto::Hash content_digest(const ReliableBroadcast::Content& content) {
+  crypto::Hasher h("valcon/brb-content");
+  h.add_bytes(content);
+  return h.finish();
+}
+
+}  // namespace
+
+void ReliableBroadcast::broadcast(sim::Context& ctx, Content content) {
+  ctx.broadcast(sim::make_payload<Msg>(Msg::Kind::kSend, std::move(content),
+                                       content_words_));
+}
+
+void ReliableBroadcast::on_message(sim::Context& ctx, ProcessId from,
+                                   const sim::PayloadPtr& m) {
+  const auto* msg = dynamic_cast<const Msg*>(m.get());
+  if (msg == nullptr) return;
+  const crypto::Hash digest = content_digest(msg->content);
+
+  switch (msg->kind) {
+    case Msg::Kind::kSend:
+      if (from != sender_ || echoed_) return;
+      echoed_ = true;
+      contents_.emplace(digest, msg->content);
+      ctx.broadcast(sim::make_payload<Msg>(Msg::Kind::kEcho, msg->content,
+                                           content_words_));
+      break;
+    case Msg::Kind::kEcho:
+      contents_.emplace(digest, msg->content);
+      echoes_[digest].insert(from);
+      break;
+    case Msg::Kind::kReady:
+      contents_.emplace(digest, msg->content);
+      readies_[digest].insert(from);
+      break;
+  }
+  maybe_progress(ctx);
+}
+
+void ReliableBroadcast::maybe_progress(sim::Context& ctx) {
+  const int n = ctx.n();
+  const int t = ctx.t();
+  const int echo_threshold = (n + t + 2) / 2;  // ceil((n+t+1)/2)
+
+  if (!readied_) {
+    for (const auto& [digest, senders] : echoes_) {
+      const bool enough_echoes =
+          static_cast<int>(senders.size()) >= echo_threshold;
+      const auto ready_it = readies_.find(digest);
+      const bool enough_readies =
+          ready_it != readies_.end() &&
+          static_cast<int>(ready_it->second.size()) >= t + 1;
+      if (enough_echoes || enough_readies) {
+        readied_ = true;
+        ctx.broadcast(sim::make_payload<Msg>(
+            Msg::Kind::kReady, contents_.at(digest), content_words_));
+        break;
+      }
+    }
+    // Amplification from READYs alone (t+1 rule) when no ECHO was seen.
+    if (!readied_) {
+      for (const auto& [digest, senders] : readies_) {
+        if (static_cast<int>(senders.size()) >= t + 1) {
+          readied_ = true;
+          ctx.broadcast(sim::make_payload<Msg>(
+              Msg::Kind::kReady, contents_.at(digest), content_words_));
+          break;
+        }
+      }
+    }
+  }
+
+  if (!delivered_) {
+    for (const auto& [digest, senders] : readies_) {
+      if (static_cast<int>(senders.size()) >= 2 * t + 1) {
+        delivered_ = true;
+        if (on_deliver_) on_deliver_(ctx, contents_.at(digest));
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace valcon::bcast

@@ -1,0 +1,79 @@
+// Byzantine Reliable Broadcast — Bracha's non-authenticated algorithm
+// [20, 23], used by the non-authenticated vector consensus (Appendix B.2).
+//
+// One instance per designated sender. Requires n > 3t. Guarantees Validity,
+// Consistency, Integrity and Totality as listed in Appendix B.2:
+//
+//   SEND(m)   : sender -> all
+//   ECHO(m)   : on first SEND from the sender            -> all
+//   READY(m)  : on ceil((n+t+1)/2) ECHOs or t+1 READYs   -> all
+//   deliver(m): on 2t+1 READYs
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "valcon/crypto/hash.hpp"
+#include "valcon/sim/component.hpp"
+
+namespace valcon::bcast {
+
+class ReliableBroadcast final : public sim::Component {
+ public:
+  using Content = std::vector<std::uint8_t>;
+  /// deliver(m): fires at most once per instance.
+  using DeliverCb = std::function<void(sim::Context&, const Content&)>;
+
+  ReliableBroadcast(ProcessId sender, DeliverCb on_deliver,
+                    std::size_t content_words = 1)
+      : sender_(sender),
+        on_deliver_(std::move(on_deliver)),
+        content_words_(content_words) {}
+
+  /// Invoked by the designated sender to broadcast `content`.
+  void broadcast(sim::Context& ctx, Content content);
+
+  void on_message(sim::Context& ctx, ProcessId from,
+                  const sim::PayloadPtr& m) override;
+
+  [[nodiscard]] bool delivered() const { return delivered_; }
+
+ private:
+  struct Msg final : sim::Payload {
+    enum class Kind { kSend, kEcho, kReady };
+    Msg(Kind kind_in, Content content_in, std::size_t words)
+        : kind(kind_in), content(std::move(content_in)), words_(words) {}
+    [[nodiscard]] const char* type_name() const override {
+      switch (kind) {
+        case Kind::kSend: return "brb/send";
+        case Kind::kEcho: return "brb/echo";
+        case Kind::kReady: return "brb/ready";
+      }
+      return "brb";
+    }
+    [[nodiscard]] std::size_t size_words() const override { return words_; }
+    Kind kind;
+    Content content;
+    std::size_t words_;
+  };
+
+  void maybe_progress(sim::Context& ctx);
+
+  ProcessId sender_;
+  DeliverCb on_deliver_;
+  std::size_t content_words_;
+
+  bool echoed_ = false;
+  bool readied_ = false;
+  bool delivered_ = false;
+  // Sender sets per content digest (Byzantine senders can equivocate).
+  std::map<crypto::Hash, std::set<ProcessId>> echoes_;
+  std::map<crypto::Hash, std::set<ProcessId>> readies_;
+  std::map<crypto::Hash, Content> contents_;
+};
+
+}  // namespace valcon::bcast

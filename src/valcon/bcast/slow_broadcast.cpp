@@ -1,0 +1,39 @@
+#include "valcon/bcast/slow_broadcast.hpp"
+
+namespace valcon::bcast {
+
+void SlowBroadcast::broadcast(sim::Context& ctx, Content content) {
+  if (broadcasting_) return;
+  broadcasting_ = true;
+  content_ = std::move(content);
+  next_recipient_ = 0;
+  send_next(ctx);
+}
+
+void SlowBroadcast::send_next(sim::Context& ctx) {
+  if (stopped_ || next_recipient_ >= ctx.n()) return;
+  ctx.send(next_recipient_, sim::make_payload<Msg>(content_));
+  ++next_recipient_;
+  if (next_recipient_ < ctx.n()) {
+    // wait delta * n^i before the next send (Algorithm 4, line 4).
+    const double wait =
+        ctx.delta() * std::pow(static_cast<double>(ctx.n()),
+                               static_cast<double>(ctx.id()));
+    ctx.set_timer(wait, /*tag=*/1);
+  }
+}
+
+void SlowBroadcast::on_message(sim::Context& ctx, ProcessId from,
+                               const sim::PayloadPtr& m) {
+  if (stopped_) return;
+  const auto* msg = dynamic_cast<const Msg*>(m.get());
+  if (msg == nullptr) return;
+  if (on_deliver_) on_deliver_(ctx, msg->content, from);
+}
+
+void SlowBroadcast::on_timer(sim::Context& ctx, std::uint64_t tag) {
+  if (tag != 1) return;
+  send_next(ctx);
+}
+
+}  // namespace valcon::bcast

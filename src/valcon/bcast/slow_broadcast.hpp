@@ -1,0 +1,64 @@
+// Slow broadcast (Algorithm 4, Appendix B.3).
+//
+// Process P_i disseminates its vector one recipient at a time, waiting
+// delta * n^i between sends (0-based i; the paper's P_1 waits delta). The
+// staggered pacing is what caps the post-GST word count of vector
+// dissemination at O(n^2) — at most one correct process can be in the middle
+// of an expensive broadcast at a time — at the price of exponential
+// worst-case latency (the paper calls the resulting protocol "highly
+// impractical"; bench E7 measures exactly that trade).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "valcon/sim/component.hpp"
+
+namespace valcon::bcast {
+
+class SlowBroadcast final : public sim::Component {
+ public:
+  using Content = std::vector<std::uint8_t>;
+  /// deliver(vec', P_j): fires for every received slow_broadcast message.
+  using DeliverCb =
+      std::function<void(sim::Context&, const Content&, ProcessId)>;
+
+  explicit SlowBroadcast(DeliverCb on_deliver)
+      : on_deliver_(std::move(on_deliver)) {}
+
+  /// Starts the paced dissemination of `content`. Word accounting derives
+  /// from the content size (8 bytes per word).
+  void broadcast(sim::Context& ctx, Content content);
+
+  /// "stop participating": halts any in-progress dissemination.
+  void stop() { stopped_ = true; }
+
+  void on_message(sim::Context& ctx, ProcessId from,
+                  const sim::PayloadPtr& m) override;
+  void on_timer(sim::Context& ctx, std::uint64_t tag) override;
+
+ private:
+  struct Msg final : sim::Payload {
+    explicit Msg(Content content_in) : content(std::move(content_in)) {}
+    [[nodiscard]] const char* type_name() const override {
+      return "slow/broadcast";
+    }
+    [[nodiscard]] std::size_t size_words() const override {
+      return content.size() / 8 + 1;
+    }
+    Content content;
+  };
+
+  void send_next(sim::Context& ctx);
+
+  DeliverCb on_deliver_;
+  Content content_;
+  bool broadcasting_ = false;
+  bool stopped_ = false;
+  ProcessId next_recipient_ = 0;
+};
+
+}  // namespace valcon::bcast

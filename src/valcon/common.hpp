@@ -1,0 +1,23 @@
+// Basic shared aliases for the valcon library.
+//
+// valcon reproduces "On the Validity of Consensus" (Civit et al., PODC 2023):
+// a system of n processes, at most t of which are Byzantine, communicating
+// over an authenticated, reliable, partially synchronous network.
+#pragma once
+
+#include <cstdint>
+
+namespace valcon {
+
+/// Process identifier. The paper indexes processes P_1..P_n; we use 0..n-1.
+using ProcessId = int;
+
+/// Proposal / decision values (the paper's V_I and V_O). The formalism is
+/// domain-agnostic; the library fixes a 64-bit integer carrier and lets
+/// enumeration-based tooling restrict to finite sub-domains.
+using Value = std::int64_t;
+
+/// Simulated time, in abstract units (benches use delta = 1.0).
+using Time = double;
+
+}  // namespace valcon

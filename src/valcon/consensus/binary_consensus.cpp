@@ -1,0 +1,330 @@
+#include "valcon/consensus/binary_consensus.hpp"
+
+namespace valcon::consensus {
+
+// ---------------------------------------------------------------- wire
+
+struct BinaryConsensus::MEst final : sim::Payload {
+  explicit MEst(bool v) : value(v) {}
+  [[nodiscard]] const char* type_name() const override { return "bin/est"; }
+  bool value;
+};
+
+struct BinaryConsensus::MProposal final : sim::Payload {
+  MProposal(std::int64_t r, bool v, std::int64_t vr)
+      : round(r), value(v), valid_round(vr) {}
+  [[nodiscard]] const char* type_name() const override {
+    return "bin/proposal";
+  }
+  std::int64_t round;
+  bool value;
+  std::int64_t valid_round;
+};
+
+struct BinaryConsensus::MPrevote final : sim::Payload {
+  MPrevote(std::int64_t r, std::optional<bool> v) : round(r), value(v) {}
+  [[nodiscard]] const char* type_name() const override {
+    return "bin/prevote";
+  }
+  std::int64_t round;
+  std::optional<bool> value;
+};
+
+struct BinaryConsensus::MPrecommit final : sim::Payload {
+  MPrecommit(std::int64_t r, std::optional<bool> v) : round(r), value(v) {}
+  [[nodiscard]] const char* type_name() const override {
+    return "bin/precommit";
+  }
+  std::int64_t round;
+  std::optional<bool> value;
+};
+
+struct BinaryConsensus::MDecided final : sim::Payload {
+  explicit MDecided(bool v) : value(v) {}
+  [[nodiscard]] const char* type_name() const override {
+    return "bin/decided";
+  }
+  bool value;
+};
+
+// ------------------------------------------------------------ helpers
+
+bool BinaryConsensus::justified(bool v, sim::Context& ctx) const {
+  return static_cast<int>(est_senders_[v ? 1 : 0].size()) >= ctx.t() + 1;
+}
+
+int BinaryConsensus::count_prevotes(std::int64_t round,
+                                    std::optional<bool> v) const {
+  const auto rit = rounds_.find(round);
+  if (rit == rounds_.end()) return 0;
+  const auto it = rit->second.prevotes.find(v);
+  return it == rit->second.prevotes.end()
+             ? 0
+             : static_cast<int>(it->second.size());
+}
+
+int BinaryConsensus::count_precommits(std::int64_t round,
+                                      std::optional<bool> v) const {
+  const auto rit = rounds_.find(round);
+  if (rit == rounds_.end()) return 0;
+  const auto it = rit->second.precommits.find(v);
+  return it == rit->second.precommits.end()
+             ? 0
+             : static_cast<int>(it->second.size());
+}
+
+// ----------------------------------------------------------- lifecycle
+
+void BinaryConsensus::on_start(sim::Context& ctx) {
+  started_ = true;
+  if (input_.has_value() && !est_broadcast_) {
+    est_broadcast_ = true;
+    ctx.broadcast(sim::make_payload<MEst>(*input_));
+  }
+  start_round(ctx, 0);
+}
+
+void BinaryConsensus::propose(sim::Context& ctx, bool value) {
+  if (input_.has_value()) return;
+  input_ = value;
+  if (started_ && !est_broadcast_) {
+    est_broadcast_ = true;
+    ctx.broadcast(sim::make_payload<MEst>(value));
+    maybe_send_proposal(ctx);
+    poll(ctx);
+  }
+}
+
+void BinaryConsensus::start_round(sim::Context& ctx, std::int64_t round) {
+  if (halted_ || round <= round_) return;
+  round_ = round;
+  step_ = Step::kPropose;
+  maybe_send_proposal(ctx);
+  // Propose-step timeout: prevote nil if no acceptable proposal arrives.
+  ctx.set_timer(timeout(round, ctx),
+                static_cast<std::uint64_t>(round) * 4 + 1);
+  poll(ctx);
+}
+
+void BinaryConsensus::maybe_send_proposal(sim::Context& ctx) {
+  if (halted_ || round_ < 0) return;
+  if (proposer_of(round_, ctx.n()) != ctx.id()) return;
+  RoundState& rs = rounds_[round_];
+  if (rs.proposal_sent || rs.proposal_seen) return;
+  // Value choice: validValue if set; otherwise the own input, preferring a
+  // justified bit so the proposal can gather prevotes.
+  std::optional<bool> choice;
+  std::int64_t vr = -1;
+  if (decided_.has_value() && valid_value_ == decided_) {
+    choice = decided_;
+    vr = valid_round_;
+  } else if (valid_value_.has_value()) {
+    choice = valid_value_;
+    vr = valid_round_;
+  } else if (input_.has_value()) {
+    choice = input_;
+    if (!justified(*choice, ctx) && justified(!*choice, ctx)) {
+      choice = !*choice;
+    }
+  }
+  if (!choice.has_value()) return;
+  rs.proposal_sent = true;
+  ctx.broadcast(sim::make_payload<MProposal>(round_, *choice, vr));
+}
+
+void BinaryConsensus::do_prevote(sim::Context& ctx, std::optional<bool> v) {
+  step_ = Step::kPrevote;
+  ctx.broadcast(sim::make_payload<MPrevote>(round_, v));
+  ctx.set_timer(timeout(round_, ctx),
+                static_cast<std::uint64_t>(round_) * 4 + 2);
+}
+
+void BinaryConsensus::do_precommit(sim::Context& ctx, std::optional<bool> v) {
+  step_ = Step::kPrecommit;
+  ctx.broadcast(sim::make_payload<MPrecommit>(round_, v));
+  ctx.set_timer(timeout(round_, ctx),
+                static_cast<std::uint64_t>(round_) * 4 + 3);
+}
+
+void BinaryConsensus::on_timer(sim::Context& ctx, std::uint64_t tag) {
+  if (halted_) return;
+  const auto round = static_cast<std::int64_t>(tag / 4);
+  const std::uint64_t kind = tag % 4;
+  if (round != round_) return;  // stale
+  if (kind == 1 && step_ == Step::kPropose) {
+    do_prevote(ctx, std::nullopt);
+    poll(ctx);
+  } else if (kind == 2 && step_ == Step::kPrevote) {
+    do_precommit(ctx, std::nullopt);
+    poll(ctx);
+  } else if (kind == 3 && step_ == Step::kPrecommit) {
+    start_round(ctx, round_ + 1);
+  }
+}
+
+// ------------------------------------------------------------- messages
+
+void BinaryConsensus::on_message(sim::Context& ctx, ProcessId from,
+                                 const sim::PayloadPtr& m) {
+  if (halted_) return;
+  if (const auto* done = dynamic_cast<const MDecided*>(m.get())) {
+    decided_senders_[done->value ? 1 : 0].insert(from);
+    poll(ctx);
+    return;
+  }
+  if (const auto* est = dynamic_cast<const MEst*>(m.get())) {
+    est_senders_[est->value ? 1 : 0].insert(from);
+    poll(ctx);
+    return;
+  }
+  if (const auto* proposal = dynamic_cast<const MProposal*>(m.get())) {
+    if (from != proposer_of(proposal->round, ctx.n())) return;
+    RoundState& rs = rounds_[proposal->round];
+    rs.participants.insert(from);
+    if (!rs.proposal_seen) {
+      rs.proposal_seen = true;
+      rs.proposal = {proposal->value, proposal->valid_round};
+    }
+    poll(ctx);
+    return;
+  }
+  if (const auto* prevote = dynamic_cast<const MPrevote*>(m.get())) {
+    RoundState& rs = rounds_[prevote->round];
+    rs.participants.insert(from);
+    rs.prevotes[prevote->value].insert(from);
+    poll(ctx);
+    return;
+  }
+  if (const auto* precommit = dynamic_cast<const MPrecommit*>(m.get())) {
+    RoundState& rs = rounds_[precommit->round];
+    rs.participants.insert(from);
+    rs.precommits[precommit->value].insert(from);
+    poll(ctx);
+    return;
+  }
+}
+
+// ------------------------------------------------------------- engine
+
+void BinaryConsensus::decide(sim::Context& ctx, bool v) {
+  if (decided_.has_value()) return;
+  decided_ = v;
+  ctx.broadcast(sim::make_payload<MDecided>(v));
+  if (on_decide_) on_decide_(ctx, v);
+}
+
+void BinaryConsensus::poll(sim::Context& ctx) {
+  if (!started_ || round_ < 0 || halted_) return;
+  const int n = ctx.n();
+  const int t = ctx.t();
+  const int quorum = 2 * t + 1;
+
+  // Decide: 2t+1 precommits for a bit in any round, or t+1 DECIDEDs
+  // (at least one correct process decided that bit).
+  if (!decided_.has_value()) {
+    for (const bool b : {false, true}) {
+      if (static_cast<int>(decided_senders_[b ? 1 : 0].size()) >= t + 1) {
+        decide(ctx, b);
+        break;
+      }
+    }
+  }
+  if (!decided_.has_value()) {
+    for (const auto& [round, rs] : rounds_) {
+      for (const bool b : {false, true}) {
+        const auto it = rs.precommits.find(b);
+        if (it != rs.precommits.end() &&
+            static_cast<int>(it->second.size()) >= quorum) {
+          decide(ctx, b);
+          break;
+        }
+      }
+      if (decided_.has_value()) break;
+    }
+  }
+  // Halt once n-t processes report the decided bit: every correct process
+  // has decided, nobody needs our votes anymore.
+  if (decided_.has_value()) {
+    const std::size_t idx = *decided_ ? 1 : 0;
+    if (static_cast<int>(decided_senders_[idx].size()) >= n - t) {
+      halted_ = true;
+      return;
+    }
+  }
+
+  // Round skip: t+1 distinct participants in a future round.
+  for (auto it = rounds_.upper_bound(round_); it != rounds_.end(); ++it) {
+    if (static_cast<int>(it->second.participants.size()) >= t + 1) {
+      start_round(ctx, it->first);
+      return;
+    }
+  }
+
+  RoundState& rs = rounds_[round_];
+
+  // validValue update: 2t+1 prevotes for a bit, any round.
+  for (const auto& [round, state] : rounds_) {
+    for (const bool b : {false, true}) {
+      const auto it = state.prevotes.find(b);
+      if (it != state.prevotes.end() &&
+          static_cast<int>(it->second.size()) >= quorum &&
+          round > valid_round_) {
+        valid_value_ = b;
+        valid_round_ = round;
+      }
+    }
+  }
+
+  // Propose step: evaluate the proposal acceptance rules.
+  if (step_ == Step::kPropose && rs.proposal.has_value()) {
+    const auto [v, vr] = *rs.proposal;
+    bool accept = false;
+    if (justified(v, ctx)) {
+      if (vr < 0) {
+        accept = locked_round_ == -1 || locked_value_ == v;
+      } else if (vr < round_ && count_prevotes(vr, v) >= quorum) {
+        accept = locked_round_ <= vr || locked_value_ == v;
+      }
+    }
+    if (accept) {
+      do_prevote(ctx, v);
+      poll(ctx);
+      return;
+    }
+  }
+
+  // Prevote step: 2t+1 matching prevotes lock and precommit; 2t+1 nil
+  // prevotes precommit nil.
+  if (step_ == Step::kPrevote) {
+    for (const bool b : {false, true}) {
+      if (count_prevotes(round_, b) >= quorum) {
+        locked_value_ = b;
+        locked_round_ = round_;
+        valid_value_ = b;
+        valid_round_ = round_;
+        do_precommit(ctx, b);
+        poll(ctx);
+        return;
+      }
+    }
+    if (count_prevotes(round_, std::nullopt) >= quorum) {
+      do_precommit(ctx, std::nullopt);
+      poll(ctx);
+      return;
+    }
+  }
+
+  // Precommit step: a full set of precommits (any mix) ends the round early.
+  if (step_ == Step::kPrecommit) {
+    int total = 0;
+    for (const auto& [v, senders] : rs.precommits) {
+      total += static_cast<int>(senders.size());
+    }
+    if (total >= n - t && count_precommits(round_, std::nullopt) >= t + 1) {
+      start_round(ctx, round_ + 1);
+      return;
+    }
+  }
+}
+
+}  // namespace valcon::consensus

@@ -1,0 +1,65 @@
+// GF(2^8) arithmetic (AES polynomial x^8 + x^4 + x^3 + x + 1, 0x11b),
+// backing the Reed-Solomon code used by ADD (Appendix B.3 / [36]).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace valcon::consensus::gf256 {
+
+namespace detail {
+
+struct Tables {
+  std::array<std::uint8_t, 256> log{};
+  std::array<std::uint8_t, 512> exp{};
+
+  constexpr Tables() {
+    // 0x03 is a primitive element of GF(2^8)/0x11b (0x02 is not: its
+    // multiplicative order is only 51).
+    std::uint16_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(x);
+      log[static_cast<std::size_t>(x)] = static_cast<std::uint8_t>(i);
+      std::uint16_t doubled = x << 1;
+      if (doubled & 0x100) doubled ^= 0x11b;
+      x = doubled ^ x;  // x *= 3
+    }
+    for (int i = 255; i < 512; ++i) {
+      exp[static_cast<std::size_t>(i)] = exp[static_cast<std::size_t>(i - 255)];
+    }
+  }
+};
+
+inline constexpr Tables kTables{};
+
+}  // namespace detail
+
+[[nodiscard]] constexpr std::uint8_t add(std::uint8_t a, std::uint8_t b) {
+  return a ^ b;
+}
+
+[[nodiscard]] constexpr std::uint8_t mul(std::uint8_t a, std::uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  return detail::kTables.exp[static_cast<std::size_t>(
+      detail::kTables.log[a] + detail::kTables.log[b])];
+}
+
+[[nodiscard]] constexpr std::uint8_t inv(std::uint8_t a) {
+  // a != 0 required.
+  return detail::kTables.exp[static_cast<std::size_t>(
+      255 - detail::kTables.log[a])];
+}
+
+[[nodiscard]] constexpr std::uint8_t div(std::uint8_t a, std::uint8_t b) {
+  // b != 0 required.
+  return a == 0 ? 0 : mul(a, inv(b));
+}
+
+/// a^e for e >= 0.
+[[nodiscard]] constexpr std::uint8_t pow(std::uint8_t a, unsigned e) {
+  std::uint8_t out = 1;
+  while (e-- > 0) out = mul(out, a);
+  return out;
+}
+
+}  // namespace valcon::consensus::gf256

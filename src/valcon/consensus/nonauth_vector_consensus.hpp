@@ -1,0 +1,54 @@
+// Non-authenticated vector consensus — Algorithm 3 (Appendix B.2).
+//
+//   propose(v):  reliably broadcast <PROPOSAL, v> (Bracha BRB, instance per
+//                process);
+//   on BRB-deliver of P_j's proposal: record it; if still in the "proposing
+//                1s" phase, propose 1 to binary instance j;
+//   on n-t binary instances deciding 1 (first time): propose 0 to every
+//                instance not yet proposed to;
+//   when all n instances decided and the proposals of the first n-t
+//                1-deciders are known: decide the corresponding vector.
+//
+// Vector Validity holds because the binary consensus only decides 1 for
+// instance j if some correct process proposed 1, i.e. BRB-delivered P_j's
+// proposal — and BRB Consistency makes all correct processes agree on what
+// that proposal is (Theorem 8). No signatures anywhere. Message complexity
+// O(n^4) worst case (n BRBs at O(n^2) + n binary instances at O(n^2) per
+// round, O(n) rounds worst case).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "valcon/bcast/brb.hpp"
+#include "valcon/consensus/binary_consensus.hpp"
+#include "valcon/consensus/vector_consensus.hpp"
+
+namespace valcon::consensus {
+
+class NonAuthVectorConsensus final : public VectorConsensus {
+ public:
+  /// Children must be sized at construction: pass the system size.
+  explicit NonAuthVectorConsensus(int n);
+
+ protected:
+  void own_start(sim::Context& ctx) override;
+
+ private:
+  void on_brb_deliver(sim::Context& ctx, ProcessId proposer,
+                      const std::vector<std::uint8_t>& content);
+  void on_binary_decide(sim::Context& ctx, ProcessId instance, bool value);
+  void maybe_decide(sim::Context& ctx);
+
+  int n_;
+  std::vector<bcast::ReliableBroadcast*> brb_;      // child idx = j
+  std::vector<BinaryConsensus*> binary_;            // child idx = n + j
+  std::vector<std::optional<Value>> proposals_;     // BRB-delivered proposals
+  std::vector<std::optional<bool>> decisions_;      // binary decisions
+  std::vector<bool> proposed_;                      // proposed to binary j?
+  bool proposing_ones_ = true;
+  int ones_ = 0;
+  int decided_count_ = 0;
+};
+
+}  // namespace valcon::consensus

@@ -1,0 +1,225 @@
+#include "valcon/consensus/reed_solomon.hpp"
+
+#include <cassert>
+
+#include "valcon/consensus/gf256.hpp"
+
+namespace valcon::consensus {
+
+namespace {
+
+using Row = std::vector<std::uint8_t>;
+
+/// Solves M x = b over GF(256) by Gaussian elimination; M is m x u,
+/// augmented with b. Returns any solution (free variables = 0), or nullopt
+/// if inconsistent.
+std::optional<Row> solve(std::vector<Row> m, Row b) {
+  const std::size_t rows = m.size();
+  const std::size_t cols = rows == 0 ? 0 : m[0].size();
+  std::vector<int> pivot_of_col(cols, -1);
+  std::size_t rank = 0;
+  for (std::size_t col = 0; col < cols && rank < rows; ++col) {
+    std::size_t sel = rank;
+    while (sel < rows && m[sel][col] == 0) ++sel;
+    if (sel == rows) continue;
+    std::swap(m[sel], m[rank]);
+    std::swap(b[sel], b[rank]);
+    const std::uint8_t inv = gf256::inv(m[rank][col]);
+    for (std::size_t j = col; j < cols; ++j) m[rank][j] = gf256::mul(m[rank][j], inv);
+    b[rank] = gf256::mul(b[rank], inv);
+    for (std::size_t r = 0; r < rows; ++r) {
+      if (r == rank || m[r][col] == 0) continue;
+      const std::uint8_t factor = m[r][col];
+      for (std::size_t j = col; j < cols; ++j) {
+        m[r][j] = gf256::add(m[r][j], gf256::mul(factor, m[rank][j]));
+      }
+      b[r] = gf256::add(b[r], gf256::mul(factor, b[rank]));
+    }
+    pivot_of_col[col] = static_cast<int>(rank);
+    ++rank;
+  }
+  // Inconsistency: zero row with nonzero rhs.
+  for (std::size_t r = rank; r < rows; ++r) {
+    if (b[r] != 0) return std::nullopt;
+  }
+  Row x(cols, 0);
+  for (std::size_t col = 0; col < cols; ++col) {
+    if (pivot_of_col[col] >= 0) {
+      x[col] = b[static_cast<std::size_t>(pivot_of_col[col])];
+    }
+  }
+  return x;
+}
+
+/// Evaluates a polynomial (coefficients low-to-high) at x.
+std::uint8_t poly_eval(const Row& coeffs, std::uint8_t x) {
+  std::uint8_t acc = 0;
+  for (std::size_t i = coeffs.size(); i-- > 0;) {
+    acc = gf256::add(gf256::mul(acc, x), coeffs[i]);
+  }
+  return acc;
+}
+
+/// Divides a / b exactly; returns nullopt if the remainder is nonzero.
+std::optional<Row> poly_divide_exact(Row a, const Row& b) {
+  // Trim leading zeros of b.
+  std::size_t bdeg = b.size();
+  while (bdeg > 0 && b[bdeg - 1] == 0) --bdeg;
+  if (bdeg == 0) return std::nullopt;
+  if (a.size() < bdeg) {
+    for (const std::uint8_t coeff : a) {
+      if (coeff != 0) return std::nullopt;
+    }
+    return Row{};
+  }
+  Row quotient(a.size() - bdeg + 1, 0);
+  const std::uint8_t lead_inv = gf256::inv(b[bdeg - 1]);
+  for (std::size_t i = a.size(); i-- >= bdeg;) {
+    const std::uint8_t coeff = gf256::mul(a[i], lead_inv);
+    quotient[i - bdeg + 1] = coeff;
+    if (coeff != 0) {
+      for (std::size_t j = 0; j < bdeg; ++j) {
+        a[i - bdeg + 1 + j] =
+            gf256::add(a[i - bdeg + 1 + j], gf256::mul(coeff, b[j]));
+      }
+    }
+    if (i == 0) break;
+  }
+  for (const std::uint8_t rem : a) {
+    if (rem != 0) return std::nullopt;
+  }
+  return quotient;
+}
+
+}  // namespace
+
+ReedSolomon::ReedSolomon(int n, int k) : n_(n), k_(k) {
+  assert(k > 0 && k <= n && n <= 255);
+}
+
+std::vector<std::vector<std::uint8_t>> ReedSolomon::encode(
+    const std::vector<std::uint8_t>& data) const {
+  // Prefix the payload with its 32-bit length, then pad to a chunk multiple.
+  std::vector<std::uint8_t> framed;
+  const auto len = static_cast<std::uint32_t>(data.size());
+  for (int b = 0; b < 4; ++b) {
+    framed.push_back(static_cast<std::uint8_t>(len >> (8 * b)));
+  }
+  framed.insert(framed.end(), data.begin(), data.end());
+  while (framed.size() % static_cast<std::size_t>(k_) != 0) {
+    framed.push_back(0);
+  }
+  const std::size_t chunks = framed.size() / static_cast<std::size_t>(k_);
+
+  std::vector<std::vector<std::uint8_t>> shares(
+      static_cast<std::size_t>(n_), std::vector<std::uint8_t>(chunks));
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::uint8_t* coeffs = framed.data() + c * static_cast<std::size_t>(k_);
+    const Row chunk(coeffs, coeffs + k_);
+    for (int j = 0; j < n_; ++j) {
+      shares[static_cast<std::size_t>(j)][c] =
+          poly_eval(chunk, static_cast<std::uint8_t>(j + 1));
+    }
+  }
+  return shares;
+}
+
+std::optional<std::vector<std::uint8_t>> ReedSolomon::decode_chunk(
+    const std::vector<int>& positions, const std::vector<std::uint8_t>& values,
+    int errors) const {
+  const int m = static_cast<int>(positions.size());
+  const int e = errors;
+  if (m < k_ + 2 * e) return std::nullopt;
+  // Berlekamp-Welch: find E (monic, degree e) and Q (degree < k+e) with
+  // Q(x_i) = y_i * E(x_i) for all i. Unknowns: e coefficients of E (the
+  // leading one is 1) and k+e coefficients of Q.
+  const int unknowns = e + k_ + e;
+  std::vector<Row> mat(static_cast<std::size_t>(m),
+                       Row(static_cast<std::size_t>(unknowns), 0));
+  Row rhs(static_cast<std::size_t>(m), 0);
+  for (int i = 0; i < m; ++i) {
+    const auto x = static_cast<std::uint8_t>(positions[static_cast<std::size_t>(i)] + 1);
+    const std::uint8_t y = values[static_cast<std::size_t>(i)];
+    // Q coefficients: + x^a
+    for (int a = 0; a < k_ + e; ++a) {
+      mat[static_cast<std::size_t>(i)][static_cast<std::size_t>(a)] =
+          gf256::pow(x, static_cast<unsigned>(a));
+    }
+    // E coefficients (excluding monic lead): - y * x^b  (minus == plus)
+    for (int b = 0; b < e; ++b) {
+      mat[static_cast<std::size_t>(i)][static_cast<std::size_t>(k_ + e + b)] =
+          gf256::mul(y, gf256::pow(x, static_cast<unsigned>(b)));
+    }
+    // rhs: y * x^e (the monic term moved across)
+    rhs[static_cast<std::size_t>(i)] =
+        gf256::mul(y, gf256::pow(x, static_cast<unsigned>(e)));
+  }
+  const auto solution = solve(std::move(mat), std::move(rhs));
+  if (!solution.has_value()) return std::nullopt;
+
+  Row q(solution->begin(), solution->begin() + (k_ + e));
+  Row err(solution->begin() + (k_ + e), solution->end());
+  err.push_back(1);  // monic lead
+  const auto p = poly_divide_exact(std::move(q), err);
+  if (!p.has_value()) return std::nullopt;
+  Row data(static_cast<std::size_t>(k_), 0);
+  for (std::size_t i = 0; i < p->size() && i < data.size(); ++i) {
+    data[i] = (*p)[i];
+  }
+  // Degree check: P must have degree < k.
+  for (std::size_t i = data.size(); i < p->size(); ++i) {
+    if ((*p)[i] != 0) return std::nullopt;
+  }
+  // Agreement check: P must match all but at most e of the given points.
+  int mismatches = 0;
+  for (int i = 0; i < m; ++i) {
+    const auto x = static_cast<std::uint8_t>(positions[static_cast<std::size_t>(i)] + 1);
+    if (poly_eval(data, x) != values[static_cast<std::size_t>(i)]) {
+      ++mismatches;
+    }
+  }
+  if (mismatches > e) return std::nullopt;
+  return data;
+}
+
+std::optional<std::vector<std::uint8_t>> ReedSolomon::decode(
+    const std::vector<std::optional<std::vector<std::uint8_t>>>& shares,
+    int errors) const {
+  std::vector<int> positions;
+  std::size_t chunks = 0;
+  for (int j = 0; j < n_ && j < static_cast<int>(shares.size()); ++j) {
+    const auto& share = shares[static_cast<std::size_t>(j)];
+    if (!share.has_value()) continue;
+    if (chunks == 0) {
+      chunks = share->size();
+    } else if (share->size() != chunks) {
+      continue;  // malformed share: wrong length
+    }
+    positions.push_back(j);
+  }
+  if (chunks == 0) return std::nullopt;
+
+  std::vector<std::uint8_t> framed;
+  framed.reserve(chunks * static_cast<std::size_t>(k_));
+  for (std::size_t c = 0; c < chunks; ++c) {
+    std::vector<std::uint8_t> values;
+    values.reserve(positions.size());
+    for (const int j : positions) {
+      values.push_back((*shares[static_cast<std::size_t>(j)])[c]);
+    }
+    const auto chunk = decode_chunk(positions, values, errors);
+    if (!chunk.has_value()) return std::nullopt;
+    framed.insert(framed.end(), chunk->begin(), chunk->end());
+  }
+  if (framed.size() < 4) return std::nullopt;
+  std::uint32_t len = 0;
+  for (int b = 0; b < 4; ++b) {
+    len |= static_cast<std::uint32_t>(framed[static_cast<std::size_t>(b)])
+           << (8 * b);
+  }
+  if (framed.size() < 4 + static_cast<std::size_t>(len)) return std::nullopt;
+  return std::vector<std::uint8_t>(framed.begin() + 4,
+                                   framed.begin() + 4 + len);
+}
+
+}  // namespace valcon::consensus

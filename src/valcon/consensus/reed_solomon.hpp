@@ -1,0 +1,48 @@
+// Reed-Solomon codes over GF(2^8) with error correction, the coding layer
+// of ADD [36] (Appendix B.3).
+//
+// Data of k bytes per chunk is the coefficient vector of a degree < k
+// polynomial p; the share for position j is p(alpha_j) with alpha_j = j+1.
+// Decoding runs Berlekamp-Welch: given m >= k + 2e points of which at most
+// e are wrong, it recovers p. ADD's online error correction retries with
+// growing e as shares arrive, so Byzantine garbage cannot block or corrupt
+// reconstruction as long as at most t of the n shares are bad and
+// n - t >= k + t (i.e. n > 3t with k = t + 1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace valcon::consensus {
+
+class ReedSolomon {
+ public:
+  /// n shares total, k data symbols per chunk. Requires 0 < k <= n <= 255.
+  ReedSolomon(int n, int k);
+
+  [[nodiscard]] int n() const { return n_; }
+  [[nodiscard]] int k() const { return k_; }
+
+  /// Splits `data` into chunks of k bytes (zero-padded; the original length
+  /// is prepended) and returns n shares, each of equal size.
+  [[nodiscard]] std::vector<std::vector<std::uint8_t>> encode(
+      const std::vector<std::uint8_t>& data) const;
+
+  /// Reconstructs the original data from shares[i] for positions i where
+  /// present[i] is true, tolerating up to `errors` wrong shares among them.
+  /// Returns nullopt if decoding fails (too few shares / too many errors).
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> decode(
+      const std::vector<std::optional<std::vector<std::uint8_t>>>& shares,
+      int errors) const;
+
+ private:
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> decode_chunk(
+      const std::vector<int>& positions,
+      const std::vector<std::uint8_t>& values, int errors) const;
+
+  int n_;
+  int k_;
+};
+
+}  // namespace valcon::consensus

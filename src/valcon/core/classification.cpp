@@ -1,0 +1,70 @@
+#include "valcon/core/classification.hpp"
+
+namespace valcon::core {
+
+std::string Classification::summary() const {
+  std::string out;
+  out += trivial ? "trivial" : "non-trivial";
+  out += similarity_condition ? ", C_S holds" : ", C_S fails";
+  out += solvable ? ", solvable" : ", unsolvable";
+  if (trivial && always_admissible.has_value()) {
+    out += " (always-admissible: " + std::to_string(*always_admissible) + ")";
+  }
+  if (!similarity_condition && cs_counterexample.has_value()) {
+    out += " (C_S counterexample: " + cs_counterexample->to_string() + ")";
+  }
+  return out;
+}
+
+std::optional<Value> always_admissible_value(
+    const ValidityProperty& val, int n, int t,
+    const std::vector<Value>& in_domain,
+    const std::vector<Value>& out_domain) {
+  for (const Value v : out_domain) {
+    bool everywhere = true;
+    for_each_config(n, in_domain, n - t, n, [&](const InputConfig& c) {
+      if (!val.admissible(c, v)) {
+        everywhere = false;
+        return false;
+      }
+      return true;
+    });
+    if (everywhere) return v;
+  }
+  return std::nullopt;
+}
+
+std::optional<InputConfig> similarity_condition_counterexample(
+    const ValidityProperty& val, int n, int t,
+    const std::vector<Value>& in_domain,
+    const std::vector<Value>& out_domain) {
+  std::optional<InputConfig> counterexample;
+  for_each_config(n, in_domain, n - t, n - t, [&](const InputConfig& c) {
+    const auto lambda = generic_lambda(val, c, t, in_domain, out_domain);
+    if (!lambda.has_value()) {
+      counterexample = c;
+      return false;
+    }
+    return true;
+  });
+  return counterexample;
+}
+
+Classification classify(const ValidityProperty& val, int n, int t,
+                        const std::vector<Value>& in_domain,
+                        const std::vector<Value>& out_domain) {
+  Classification result;
+  result.always_admissible =
+      always_admissible_value(val, n, t, in_domain, out_domain);
+  result.trivial = result.always_admissible.has_value();
+  result.cs_counterexample =
+      similarity_condition_counterexample(val, n, t, in_domain, out_domain);
+  result.similarity_condition = !result.cs_counterexample.has_value();
+  // The paper's characterization: Theorems 1 & 2 for n <= 3t, 3 & 5 for
+  // n > 3t.
+  result.solvable =
+      (n <= 3 * t) ? result.trivial : result.similarity_condition;
+  return result;
+}
+
+}  // namespace valcon::core

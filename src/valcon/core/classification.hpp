@@ -1,0 +1,61 @@
+// Classification of validity properties (Sections 4 and 5), decidable over
+// finite domains:
+//
+//   * trivial            — ∃ v always admissible (Theorem 1's conclusion;
+//                          the witness is Theorem 2's always_admissible
+//                          procedure output);
+//   * similarity condition C_S (Definition 2) — ∀ c ∈ I_{n-t} the
+//                          intersection ⋂_{c' ~ c} val(c') is nonempty
+//                          (with a computable choice — enumeration is the
+//                          finite procedure);
+//   * solvable           — the paper's characterization:
+//                            n <= 3t : solvable  <=>  trivial (Thms 1, 2)
+//                            n  > 3t : solvable  <=>  C_S     (Thms 3, 5)
+//
+// Every check reports a witness/counterexample so benches and tests can
+// display *why* a property lands where it does on the Figure 1 map.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "valcon/core/lambda.hpp"
+#include "valcon/core/validity.hpp"
+
+namespace valcon::core {
+
+struct Classification {
+  bool trivial = false;
+  /// A value admissible under every configuration, when trivial.
+  std::optional<Value> always_admissible;
+
+  bool similarity_condition = false;
+  /// A configuration in I_{n-t} with empty ⋂_{c'~c} val(c'), when C_S fails.
+  std::optional<InputConfig> cs_counterexample;
+
+  bool solvable = false;
+
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Classifies `val` for the system (n, t) over finite proposal / decision
+/// domains. Exponential in (n, |in_domain|) — intended for small instances.
+[[nodiscard]] Classification classify(const ValidityProperty& val, int n,
+                                      int t,
+                                      const std::vector<Value>& in_domain,
+                                      const std::vector<Value>& out_domain);
+
+/// Theorem 2's finite `always_admissible` procedure: a value admissible for
+/// every configuration, or nullopt if none exists (property non-trivial).
+[[nodiscard]] std::optional<Value> always_admissible_value(
+    const ValidityProperty& val, int n, int t,
+    const std::vector<Value>& in_domain, const std::vector<Value>& out_domain);
+
+/// Checks C_S: every c ∈ I_{n-t} admits a common admissible value across
+/// sim(c). Returns a counterexample configuration if the check fails.
+[[nodiscard]] std::optional<InputConfig> similarity_condition_counterexample(
+    const ValidityProperty& val, int n, int t,
+    const std::vector<Value>& in_domain, const std::vector<Value>& out_domain);
+
+}  // namespace valcon::core

@@ -1,0 +1,89 @@
+// Input configurations (Section 3.3).
+//
+// An input configuration is a tuple of process-proposal pairs, one per
+// *correct* process, with between n-t and n entries: it captures "which
+// processes are correct and what they propose". We represent it as n
+// optional slots — slot i holds P_i's proposal, or nothing if P_i is not
+// part of the configuration (c[i] = ⊥ in the paper).
+//
+// The same type doubles as the decision domain of vector consensus
+// (Section 5.2.1), whose outputs are exactly the input configurations with
+// n-t process-proposal pairs.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "valcon/common.hpp"
+#include "valcon/crypto/hash.hpp"
+
+namespace valcon::core {
+
+class InputConfig {
+ public:
+  InputConfig() = default;
+  explicit InputConfig(int n) : slots_(static_cast<std::size_t>(n)) {}
+
+  /// Builds a configuration over n processes from explicit pairs.
+  static InputConfig of(
+      int n, std::initializer_list<std::pair<ProcessId, Value>> pairs);
+  static InputConfig of(int n,
+                        const std::vector<std::pair<ProcessId, Value>>& pairs);
+
+  /// Number of processes in the system (n).
+  [[nodiscard]] int n() const { return static_cast<int>(slots_.size()); }
+
+  /// Number of process-proposal pairs (the paper's x, |π(c)|).
+  [[nodiscard]] int count() const;
+
+  /// Does P_i belong to π(c)?
+  [[nodiscard]] bool participates(ProcessId i) const {
+    return slots_[static_cast<std::size_t>(i)].has_value();
+  }
+
+  /// c[i]: P_i's proposal, or nullopt if c[i] = ⊥.
+  [[nodiscard]] const std::optional<Value>& at(ProcessId i) const {
+    return slots_[static_cast<std::size_t>(i)];
+  }
+
+  void set(ProcessId i, Value v) { slots_[static_cast<std::size_t>(i)] = v; }
+  void clear(ProcessId i) { slots_[static_cast<std::size_t>(i)].reset(); }
+
+  /// π(c): the processes included in c, ascending.
+  [[nodiscard]] std::vector<ProcessId> processes() const;
+
+  /// Multiset of proposals, in process order.
+  [[nodiscard]] std::vector<Value> proposals() const;
+
+  /// Multiset of proposals, ascending (for order-statistic validities).
+  [[nodiscard]] std::vector<Value> sorted_proposals() const;
+
+  /// True iff n-t <= count() <= n (a well-formed member of I).
+  [[nodiscard]] bool valid_for(int n, int t) const;
+
+  /// True iff every included process proposes the same value; outputs it.
+  [[nodiscard]] bool unanimous(Value* out = nullptr) const;
+
+  /// Content digest (used by vector dissemination, Appendix B.3).
+  [[nodiscard]] crypto::Hash digest() const;
+
+  /// Flat byte serialization (used by ADD, Appendix B.3).
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+  static std::optional<InputConfig> deserialize(
+      const std::vector<std::uint8_t>& bytes);
+
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const InputConfig&) const = default;
+  /// Lexicographic order, so configurations can key ordered containers.
+  bool operator<(const InputConfig& other) const { return slots_ < other.slots_; }
+
+ private:
+  std::vector<std::optional<Value>> slots_;
+};
+
+}  // namespace valcon::core

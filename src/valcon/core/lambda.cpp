@@ -1,0 +1,67 @@
+#include "valcon/core/lambda.hpp"
+
+#include <stdexcept>
+
+namespace valcon::core {
+
+std::optional<Value> generic_lambda(const ValidityProperty& val,
+                                    const InputConfig& c, int t,
+                                    const std::vector<Value>& in_domain,
+                                    const std::vector<Value>& out_domain) {
+  for (const Value v : out_domain) {
+    bool everywhere = true;
+    for_each_similar(c, t, in_domain, [&](const InputConfig& sim_c) {
+      if (!val.admissible(sim_c, v)) {
+        everywhere = false;
+        return false;  // stop enumeration
+      }
+      return true;
+    });
+    if (everywhere) return v;
+  }
+  return std::nullopt;
+}
+
+std::vector<Value> similar_admissible_intersection(
+    const ValidityProperty& val, const InputConfig& c, int t,
+    const std::vector<Value>& in_domain,
+    const std::vector<Value>& out_domain) {
+  std::vector<bool> alive(out_domain.size(), true);
+  for_each_similar(c, t, in_domain, [&](const InputConfig& sim_c) {
+    bool any = false;
+    for (std::size_t i = 0; i < out_domain.size(); ++i) {
+      if (!alive[i]) continue;
+      if (!val.admissible(sim_c, out_domain[i])) {
+        alive[i] = false;
+      }
+      any = any || alive[i];
+    }
+    return any;  // stop early once the intersection is empty
+  });
+  std::vector<Value> out;
+  for (std::size_t i = 0; i < out_domain.size(); ++i) {
+    if (alive[i]) out.push_back(out_domain[i]);
+  }
+  return out;
+}
+
+LambdaFn make_lambda(const ValidityProperty& val, int n, int t,
+                     std::vector<Value> in_domain,
+                     std::vector<Value> out_domain) {
+  return [&val, n, t, in = std::move(in_domain),
+          out = std::move(out_domain)](const InputConfig& vec) -> Value {
+    if (const auto closed = val.closed_form_lambda(vec, n, t)) {
+      return *closed;
+    }
+    if (!in.empty() && !out.empty()) {
+      if (const auto generic = generic_lambda(val, vec, t, in, out)) {
+        return *generic;
+      }
+    }
+    throw std::invalid_argument("Λ undefined for " + vec.to_string() +
+                                " under " + val.name() +
+                                " (similarity condition violated?)");
+  };
+}
+
+}  // namespace valcon::core

@@ -1,0 +1,49 @@
+// The Λ function of the similarity condition (Definition 2):
+//
+//   Λ : I_{n-t} -> Vo  with  Λ(c) ∈ ⋂_{c' ∈ sim(c)} val(c').
+//
+// Theorem 3 proves a computable Λ is *necessary* for solvability; Theorem 5
+// (via Universal) proves it is sufficient when n > 3t. This header provides:
+//
+//   * generic_lambda        — computes Λ(c) by enumerating sim(c) over a
+//                             finite domain (the "finite procedure" whose
+//                             existence Theorem 2/3 argue about);
+//   * make_lambda           — a ready-to-plug LambdaFn for Universal, using
+//                             the property's closed form when available and
+//                             the enumeration fallback otherwise.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "valcon/core/similarity.hpp"
+#include "valcon/core/validity.hpp"
+
+namespace valcon::core {
+
+/// Λ as consumed by Universal (Algorithm 2): maps a decided vector to the
+/// decision value. Must be deterministic and identical at every process.
+using LambdaFn = std::function<Value(const InputConfig&)>;
+
+/// Smallest v in out_domain admissible for every c' ∈ sim(c) (proposals
+/// drawn from in_domain); nullopt when the intersection is empty over this
+/// finite domain — i.e. the similarity condition fails at c.
+[[nodiscard]] std::optional<Value> generic_lambda(
+    const ValidityProperty& val, const InputConfig& c, int t,
+    const std::vector<Value>& in_domain, const std::vector<Value>& out_domain);
+
+/// The full intersection ⋂_{c' ∈ sim(c)} val(c') over out_domain.
+[[nodiscard]] std::vector<Value> similar_admissible_intersection(
+    const ValidityProperty& val, const InputConfig& c, int t,
+    const std::vector<Value>& in_domain, const std::vector<Value>& out_domain);
+
+/// Builds the LambdaFn Universal runs with. Prefers the property's closed
+/// form; falls back to enumeration over the given finite domains. Throws
+/// std::invalid_argument at call time if neither yields a value (the
+/// property is unsolvable at that configuration).
+[[nodiscard]] LambdaFn make_lambda(const ValidityProperty& val, int n, int t,
+                                   std::vector<Value> in_domain = {},
+                                   std::vector<Value> out_domain = {});
+
+}  // namespace valcon::core

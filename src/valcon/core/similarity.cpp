@@ -1,0 +1,130 @@
+#include "valcon/core/similarity.hpp"
+
+#include <bit>
+#include <cassert>
+
+namespace valcon::core {
+
+bool similar(const InputConfig& c1, const InputConfig& c2) {
+  assert(c1.n() == c2.n());
+  bool overlap = false;
+  for (int i = 0; i < c1.n(); ++i) {
+    if (c1.participates(i) && c2.participates(i)) {
+      overlap = true;
+      if (*c1.at(i) != *c2.at(i)) return false;
+    }
+  }
+  return overlap;
+}
+
+bool compatible(const InputConfig& c1, const InputConfig& c2, int t) {
+  assert(c1.n() == c2.n());
+  int overlap = 0;
+  bool only_in_1 = false;
+  bool only_in_2 = false;
+  for (int i = 0; i < c1.n(); ++i) {
+    const bool in1 = c1.participates(i);
+    const bool in2 = c2.participates(i);
+    if (in1 && in2) ++overlap;
+    if (in1 && !in2) only_in_1 = true;
+    if (!in1 && in2) only_in_2 = true;
+  }
+  return overlap <= t && only_in_1 && only_in_2;
+}
+
+namespace {
+
+/// Enumerates all assignments of `domain` values to the set positions of
+/// `mask`, on top of fixed slots in `base`; calls fn; returns false to stop.
+bool assign_values(const std::vector<int>& free_positions, std::size_t idx,
+                   InputConfig& scratch, const std::vector<Value>& domain,
+                   const std::function<bool(const InputConfig&)>& fn) {
+  if (idx == free_positions.size()) return fn(scratch);
+  const int pos = free_positions[idx];
+  for (const Value v : domain) {
+    scratch.set(pos, v);
+    if (!assign_values(free_positions, idx + 1, scratch, domain, fn)) {
+      return false;
+    }
+  }
+  scratch.clear(pos);
+  return true;
+}
+
+}  // namespace
+
+void for_each_config(int n, const std::vector<Value>& domain, int min_count,
+                     int max_count,
+                     const std::function<bool(const InputConfig&)>& fn) {
+  assert(n <= 24 && "enumeration is exponential; use small n");
+  const std::uint32_t limit = 1u << n;
+  for (std::uint32_t mask = 0; mask < limit; ++mask) {
+    const int cnt = std::popcount(mask);
+    if (cnt < min_count || cnt > max_count) continue;
+    std::vector<int> positions;
+    for (int i = 0; i < n; ++i) {
+      if ((mask >> i) & 1u) positions.push_back(i);
+    }
+    InputConfig scratch(n);
+    if (!assign_values(positions, 0, scratch, domain, fn)) return;
+  }
+}
+
+std::vector<InputConfig> enumerate_configs(int n, int t,
+                                           const std::vector<Value>& domain) {
+  std::vector<InputConfig> out;
+  for_each_config(n, domain, n - t, n, [&](const InputConfig& c) {
+    out.push_back(c);
+    return true;
+  });
+  return out;
+}
+
+std::vector<InputConfig> enumerate_configs_exact(
+    int n, int x, const std::vector<Value>& domain) {
+  std::vector<InputConfig> out;
+  for_each_config(n, domain, x, x, [&](const InputConfig& c) {
+    out.push_back(c);
+    return true;
+  });
+  return out;
+}
+
+void for_each_similar(const InputConfig& c, int t,
+                      const std::vector<Value>& domain,
+                      const std::function<bool(const InputConfig&)>& fn) {
+  const int n = c.n();
+  assert(n <= 24 && "enumeration is exponential; use small n");
+  const std::uint32_t limit = 1u << n;
+  for (std::uint32_t mask = 0; mask < limit; ++mask) {
+    const int cnt = std::popcount(mask);
+    if (cnt < n - t || cnt > n) continue;
+    // Fix overlap slots to c's proposals; only non-overlap slots are free.
+    InputConfig scratch(n);
+    std::vector<int> free_positions;
+    bool overlap = false;
+    for (int i = 0; i < n; ++i) {
+      if (((mask >> i) & 1u) == 0) continue;
+      if (c.participates(i)) {
+        overlap = true;
+        scratch.set(i, *c.at(i));
+      } else {
+        free_positions.push_back(i);
+      }
+    }
+    if (!overlap) continue;
+    if (!assign_values(free_positions, 0, scratch, domain, fn)) return;
+  }
+}
+
+std::vector<InputConfig> enumerate_similar(const InputConfig& c, int t,
+                                           const std::vector<Value>& domain) {
+  std::vector<InputConfig> out;
+  for_each_similar(c, t, domain, [&](const InputConfig& s) {
+    out.push_back(s);
+    return true;
+  });
+  return out;
+}
+
+}  // namespace valcon::core

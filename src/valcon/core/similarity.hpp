@@ -1,0 +1,50 @@
+// The similarity (~) and compatibility (⋄) relations between input
+// configurations (Sections 3.4 and 4.1), plus finite-domain enumeration of
+// the input-configuration space I and of sim(c).
+//
+//   c1 ~ c2  <=>  π(c1) ∩ π(c2) != ∅  and  c1[i] = c2[i] on the overlap
+//   c1 ⋄ c2  <=>  |π(c1) ∩ π(c2)| <= t, π(c1)\π(c2) != ∅, π(c2)\π(c1) != ∅
+//
+// Enumeration is exponential in n and |domain| by nature (the formalism
+// quantifies over all of I); it is intended for the small instances used by
+// the classification tooling, the generic Λ function and the tests.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "valcon/core/input_config.hpp"
+
+namespace valcon::core {
+
+[[nodiscard]] bool similar(const InputConfig& c1, const InputConfig& c2);
+
+[[nodiscard]] bool compatible(const InputConfig& c1, const InputConfig& c2,
+                              int t);
+
+/// Invokes `fn` for every input configuration over n processes with
+/// count in [min_count, max_count] and proposals drawn from `domain`.
+/// Enumeration stops early if `fn` returns false.
+void for_each_config(int n, const std::vector<Value>& domain, int min_count,
+                     int max_count,
+                     const std::function<bool(const InputConfig&)>& fn);
+
+/// All of I for the system (n, t): counts in [n-t, n].
+[[nodiscard]] std::vector<InputConfig> enumerate_configs(
+    int n, int t, const std::vector<Value>& domain);
+
+/// I_x: configurations with exactly x pairs.
+[[nodiscard]] std::vector<InputConfig> enumerate_configs_exact(
+    int n, int x, const std::vector<Value>& domain);
+
+/// Invokes `fn` for every c' in sim(c) over the finite domain; early-exits
+/// when `fn` returns false. c itself is included (the relation is
+/// reflexive).
+void for_each_similar(const InputConfig& c, int t,
+                      const std::vector<Value>& domain,
+                      const std::function<bool(const InputConfig&)>& fn);
+
+[[nodiscard]] std::vector<InputConfig> enumerate_similar(
+    const InputConfig& c, int t, const std::vector<Value>& domain);
+
+}  // namespace valcon::core

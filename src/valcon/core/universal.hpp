@@ -1,0 +1,66 @@
+// Universal — Algorithm 2, the paper's general consensus algorithm.
+//
+//   on propose(v):                 forward v to vector consensus;
+//   on vector-consensus decide(vec): decide Λ(vec).
+//
+// Correctness (Lemma 8): Vector Validity makes the decided vec similar to
+// the execution's real input configuration c*, so Λ(vec) ∈ val(c*) by the
+// definition of Λ. Termination/Agreement lift from vector consensus, and the
+// message complexity equals that of the vector consensus building block —
+// O(n^2) with the authenticated implementation, making the Theorem 4 lower
+// bound tight for t ∈ Ω(n).
+//
+// Universal is deliberately independent of which vector consensus
+// implementation it runs on (Algorithm 1, 3 or 6) — pass any.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <utility>
+
+#include "valcon/consensus/vector_consensus.hpp"
+#include "valcon/core/lambda.hpp"
+
+namespace valcon::core {
+
+class Universal final : public sim::Mux {
+ public:
+  /// decide(v'): at most once.
+  using DecideCb = std::function<void(sim::Context&, Value)>;
+
+  Universal(std::unique_ptr<consensus::VectorConsensus> vector_consensus,
+            LambdaFn lambda, DecideCb on_decide)
+      : lambda_(std::move(lambda)), on_decide_(std::move(on_decide)) {
+    vc_ = vector_consensus.get();
+    add_child(std::move(vector_consensus));
+    vc_->set_on_decide(
+        [this](sim::Context& ctx, const InputConfig& vec) {
+          if (decided_) return;
+          decided_ = true;
+          decided_vector_ = vec;
+          decision_ = lambda_(vec);
+          if (on_decide_) on_decide_(ctx, *decision_);
+        });
+  }
+
+  /// propose(v): must be called before the component starts.
+  void propose(Value v) { vc_->set_input(v); }
+
+  [[nodiscard]] bool decided() const { return decided_; }
+  [[nodiscard]] const std::optional<Value>& decision() const {
+    return decision_;
+  }
+  [[nodiscard]] const std::optional<InputConfig>& decided_vector() const {
+    return decided_vector_;
+  }
+
+ private:
+  consensus::VectorConsensus* vc_;
+  LambdaFn lambda_;
+  DecideCb on_decide_;
+  bool decided_ = false;
+  std::optional<Value> decision_;
+  std::optional<InputConfig> decided_vector_;
+};
+
+}  // namespace valcon::core

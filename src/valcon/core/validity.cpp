@@ -1,0 +1,173 @@
+#include "valcon/core/validity.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace valcon::core {
+
+std::vector<Value> ValidityProperty::admissible_set(
+    const InputConfig& c, const std::vector<Value>& out_domain) const {
+  std::vector<Value> out;
+  for (const Value v : out_domain) {
+    if (admissible(c, v)) out.push_back(v);
+  }
+  return out;
+}
+
+namespace {
+
+/// Smallest value with the highest multiplicity.
+Value most_frequent(const std::vector<Value>& values) {
+  std::map<Value, int> counts;
+  for (const Value v : values) ++counts[v];
+  Value best = values.front();
+  int best_count = 0;
+  for (const auto& [v, count] : counts) {
+    if (count > best_count) {
+      best = v;
+      best_count = count;
+    }
+  }
+  return best;
+}
+
+/// Smallest value appearing at least `threshold` times, if any.
+std::optional<Value> value_with_multiplicity(const std::vector<Value>& values,
+                                             int threshold) {
+  std::map<Value, int> counts;
+  for (const Value v : values) ++counts[v];
+  for (const auto& [v, count] : counts) {
+    if (count >= threshold) return v;
+  }
+  return std::nullopt;
+}
+
+/// 1-based order statistic with index clamped to [1, size].
+Value order_stat_clamped(const std::vector<Value>& sorted, int index) {
+  const int m = static_cast<int>(sorted.size());
+  const int clamped = std::max(1, std::min(index, m));
+  return sorted[static_cast<std::size_t>(clamped - 1)];
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Strong
+
+bool StrongValidity::admissible(const InputConfig& c, Value v) const {
+  Value u;
+  if (c.unanimous(&u)) return v == u;
+  return true;
+}
+
+std::optional<Value> StrongValidity::closed_form_lambda(const InputConfig& vec,
+                                                        int n, int t) const {
+  // A unanimous configuration c' similar to vec exists for value u iff u has
+  // multiplicity >= n-2t in vec (c' can exclude at most t of vec's processes
+  // and add at most t fresh ones). With n > 3t at most one such u exists and
+  // Λ must return it; otherwise any value works — pick the most frequent.
+  const std::vector<Value> proposals = vec.proposals();
+  if (proposals.empty()) return std::nullopt;
+  if (const auto forced = value_with_multiplicity(proposals, n - 2 * t)) {
+    return *forced;
+  }
+  return most_frequent(proposals);
+}
+
+// ------------------------------------------------------------------ Weak
+
+bool WeakValidity::admissible(const InputConfig& c, Value v) const {
+  Value u;
+  if (c.count() == c.n() && c.unanimous(&u)) return v == u;
+  return true;
+}
+
+std::optional<Value> WeakValidity::closed_form_lambda(const InputConfig& vec,
+                                                      int /*n*/,
+                                                      int /*t*/) const {
+  // The only constraining configurations similar to vec are full unanimous
+  // ones, which exist iff vec itself is unanimous.
+  const std::vector<Value> proposals = vec.proposals();
+  if (proposals.empty()) return std::nullopt;
+  Value u;
+  if (vec.unanimous(&u)) return u;
+  return most_frequent(proposals);
+}
+
+// ------------------------------------------------------- CorrectProposal
+
+bool CorrectProposalValidity::admissible(const InputConfig& c,
+                                         Value v) const {
+  for (const Value p : c.proposals()) {
+    if (p == v) return true;
+  }
+  return false;
+}
+
+std::optional<Value> CorrectProposalValidity::closed_form_lambda(
+    const InputConfig& vec, int /*n*/, int t) const {
+  // Λ(vec) must be a proposal of *every* configuration similar to vec.
+  // A similar configuration can retain as few as count - t of vec's entries
+  // and pad with junk, so only values with multiplicity >= t+1 survive every
+  // similar configuration. When no such value exists the property is
+  // unsolvable for this instance (no Λ): return nullopt.
+  return value_with_multiplicity(vec.proposals(), t + 1);
+}
+
+// -------------------------------------------------------------- Interval
+
+bool IntervalValidity::admissible(const InputConfig& c, Value v) const {
+  const std::vector<Value> sorted = c.sorted_proposals();
+  if (sorted.empty()) return true;
+  const Value lo = order_stat_clamped(sorted, k_ - slack_);
+  const Value hi = order_stat_clamped(sorted, k_ + slack_);
+  return lo <= v && v <= hi;
+}
+
+std::optional<Value> IntervalValidity::closed_form_lambda(
+    const InputConfig& vec, int n, int t) const {
+  // Sound when slack >= t and t+1 <= k <= n-2t (see tests, which cross-check
+  // against the sim(vec) enumeration).
+  if (slack_ < t || k_ < t + 1 || k_ > n - 2 * t) return std::nullopt;
+  const std::vector<Value> sorted = vec.sorted_proposals();
+  if (sorted.empty()) return std::nullopt;
+  return order_stat_clamped(sorted, k_);
+}
+
+// ------------------------------------------------------------ ConvexHull
+
+bool ConvexHullValidity::admissible(const InputConfig& c, Value v) const {
+  const std::vector<Value> sorted = c.sorted_proposals();
+  if (sorted.empty()) return true;
+  return sorted.front() <= v && v <= sorted.back();
+}
+
+std::optional<Value> ConvexHullValidity::closed_form_lambda(
+    const InputConfig& vec, int n, int t) const {
+  // ⋂_{c' ~ vec} [min(c'), max(c')] = [vec_(t+1), vec_(n-2t)], nonempty
+  // exactly when n > 3t.
+  if (n <= 3 * t) return std::nullopt;
+  const std::vector<Value> sorted = vec.sorted_proposals();
+  if (sorted.empty()) return std::nullopt;
+  return order_stat_clamped(sorted, t + 1);
+}
+
+// -------------------------------------------------------------- Constant
+
+bool ConstantValidity::admissible(const InputConfig& /*c*/, Value v) const {
+  return exclusive_ ? v == value_ : true;
+}
+
+std::optional<Value> ConstantValidity::closed_form_lambda(
+    const InputConfig& /*vec*/, int /*n*/, int /*t*/) const {
+  return value_;
+}
+
+// ----------------------------------------------------------------- Table
+
+bool TableValidity::admissible(const InputConfig& c, Value v) const {
+  const auto it = table_.find(c);
+  if (it == table_.end()) return true;
+  return it->second.count(v) != 0;
+}
+
+}  // namespace valcon::core

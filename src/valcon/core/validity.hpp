@@ -1,0 +1,177 @@
+// Validity properties (Section 3.3): val : I -> 2^Vo \ {∅}.
+//
+// A ValidityProperty answers membership queries "is v admissible for c?".
+// The library ships the properties the paper discusses:
+//
+//   StrongValidity        — unanimity of correct processes pins the decision
+//   WeakValidity          — unanimity with *all* processes correct pins it
+//   CorrectProposalValidity — decisions must be proposals of correct procs
+//   IntervalValidity(k,s) — decision within order statistics k±s of the
+//                           correct proposals (Melnyk-Wattenhofer style;
+//                           MedianValidity is k = ⌈(n-t)/2⌉)
+//   ConvexHullValidity    — decision inside [min, max] of correct proposals
+//                           (the convex-hull validity used by approximate
+//                           agreement, applied to exact consensus, §2)
+//   ConstantValidity      — the trivial property: a fixed value is always
+//                           admissible (everything else admissible too when
+//                           `exclusive` is false)
+//   TableValidity         — an arbitrary explicit mapping over a finite
+//                           domain, for classification sweeps (Figure 1)
+//
+// Each property may provide a closed-form Λ (Definition 2): a computable
+// function mapping a vector-consensus decision vec ∈ I_{n-t} to a value
+// admissible for every configuration similar to vec. The generic fallback
+// (lambda.hpp) computes Λ by enumerating sim(vec); the tests cross-check
+// the closed forms against the enumeration, instance by instance.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "valcon/core/input_config.hpp"
+
+namespace valcon::core {
+
+class ValidityProperty {
+ public:
+  virtual ~ValidityProperty() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Is decision v admissible under input configuration c (v ∈ val(c))?
+  [[nodiscard]] virtual bool admissible(const InputConfig& c,
+                                        Value v) const = 0;
+
+  /// Closed-form Λ(vec) for vec ∈ I_{n-t}, if this property has one.
+  /// Guarantees Λ(vec) ∈ ⋂_{c' ~ vec} val(c') whenever the property is
+  /// solvable for (n, t).
+  [[nodiscard]] virtual std::optional<Value> closed_form_lambda(
+      const InputConfig& /*vec*/, int /*n*/, int /*t*/) const {
+    return std::nullopt;
+  }
+
+  /// val(c) restricted to a finite candidate output domain.
+  [[nodiscard]] std::vector<Value> admissible_set(
+      const InputConfig& c, const std::vector<Value>& out_domain) const;
+};
+
+/// If all correct processes propose the same value, only that value can be
+/// decided.
+class StrongValidity final : public ValidityProperty {
+ public:
+  [[nodiscard]] std::string name() const override { return "Strong"; }
+  [[nodiscard]] bool admissible(const InputConfig& c, Value v) const override;
+  [[nodiscard]] std::optional<Value> closed_form_lambda(
+      const InputConfig& vec, int n, int t) const override;
+};
+
+/// If all processes are correct and propose the same value, that value must
+/// be decided.
+class WeakValidity final : public ValidityProperty {
+ public:
+  [[nodiscard]] std::string name() const override { return "Weak"; }
+  [[nodiscard]] bool admissible(const InputConfig& c, Value v) const override;
+  [[nodiscard]] std::optional<Value> closed_form_lambda(
+      const InputConfig& vec, int n, int t) const override;
+};
+
+/// A decided value must have been proposed by a correct process.
+/// Solvable only when the proposal domain is small relative to n and t
+/// (pigeonhole; see tests and the Figure 1 bench) — the classification
+/// tooling discovers the frontier.
+class CorrectProposalValidity final : public ValidityProperty {
+ public:
+  [[nodiscard]] std::string name() const override { return "CorrectProposal"; }
+  [[nodiscard]] bool admissible(const InputConfig& c, Value v) const override;
+  [[nodiscard]] std::optional<Value> closed_form_lambda(
+      const InputConfig& vec, int n, int t) const override;
+};
+
+/// Decision must lie between the (k-slack)-th and (k+slack)-th smallest
+/// correct proposals (1-based order statistics, clamped to [1, m]).
+/// With slack = t and t+1 <= k <= n-2t this is solvable, and
+/// Λ(vec) = k-th smallest entry of vec.
+class IntervalValidity : public ValidityProperty {
+ public:
+  IntervalValidity(int k, int slack) : k_(k), slack_(slack) {}
+
+  [[nodiscard]] std::string name() const override {
+    return "Interval(k=" + std::to_string(k_) +
+           ",slack=" + std::to_string(slack_) + ")";
+  }
+  [[nodiscard]] bool admissible(const InputConfig& c, Value v) const override;
+  [[nodiscard]] std::optional<Value> closed_form_lambda(
+      const InputConfig& vec, int n, int t) const override;
+
+  [[nodiscard]] int k() const { return k_; }
+  [[nodiscard]] int slack() const { return slack_; }
+
+ private:
+  int k_;
+  int slack_;
+};
+
+/// Median validity (Stolz-Wattenhofer, adapted): interval validity around
+/// the median index of a (n-t)-sized vector, with slack t.
+class MedianValidity final : public IntervalValidity {
+ public:
+  MedianValidity(int n, int t) : IntervalValidity((n - t + 1) / 2, t) {}
+  [[nodiscard]] std::string name() const override { return "Median"; }
+};
+
+/// Decision must lie in the convex hull [min, max] of correct proposals.
+/// Λ(vec) = (t+1)-th smallest entry of vec (any value in
+/// [vec_(t+1), vec_(n-2t)] works; nonempty exactly when n > 3t).
+class ConvexHullValidity final : public ValidityProperty {
+ public:
+  [[nodiscard]] std::string name() const override { return "ConvexHull"; }
+  [[nodiscard]] bool admissible(const InputConfig& c, Value v) const override;
+  [[nodiscard]] std::optional<Value> closed_form_lambda(
+      const InputConfig& vec, int n, int t) const override;
+};
+
+/// The canonical trivial property. With exclusive = true, val(c) = {value}
+/// for every c; otherwise val(c) = Vo (everything admissible).
+class ConstantValidity final : public ValidityProperty {
+ public:
+  explicit ConstantValidity(Value value, bool exclusive = true)
+      : value_(value), exclusive_(exclusive) {}
+
+  [[nodiscard]] std::string name() const override {
+    return exclusive_ ? "Constant(" + std::to_string(value_) + ")"
+                      : "AnyValue";
+  }
+  [[nodiscard]] bool admissible(const InputConfig& c, Value v) const override;
+  [[nodiscard]] std::optional<Value> closed_form_lambda(
+      const InputConfig& vec, int n, int t) const override;
+
+ private:
+  Value value_;
+  bool exclusive_;
+};
+
+/// An arbitrary explicit validity property over a finite configuration
+/// space; missing entries default to "everything admissible". Used by the
+/// classification sweeps to sample the property space of Figure 1.
+class TableValidity final : public ValidityProperty {
+ public:
+  using Table = std::map<InputConfig, std::set<Value>>;
+
+  explicit TableValidity(Table table, std::string label = "Table")
+      : table_(std::move(table)), label_(std::move(label)) {}
+
+  [[nodiscard]] std::string name() const override { return label_; }
+  [[nodiscard]] bool admissible(const InputConfig& c, Value v) const override;
+
+  [[nodiscard]] const Table& table() const { return table_; }
+
+ private:
+  Table table_;
+  std::string label_;
+};
+
+}  // namespace valcon::core

@@ -1,0 +1,55 @@
+#include "valcon/crypto/hash.hpp"
+
+namespace valcon::crypto {
+
+std::string Hash::hex_prefix(std::size_t nibbles) const {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(nibbles);
+  for (std::size_t i = 0; i < nibbles && i / 2 < bytes.size(); ++i) {
+    const std::uint8_t byte = bytes[i / 2];
+    out.push_back(kHex[(i % 2 == 0) ? (byte >> 4) : (byte & 0x0f)]);
+  }
+  return out;
+}
+
+Hasher::Hasher(std::string_view domain) {
+  const std::uint64_t len = domain.size();
+  raw(&len, sizeof(len));
+  raw(domain.data(), domain.size());
+}
+
+Hasher& Hasher::add(std::string_view s) {
+  const std::uint64_t len = s.size();
+  raw(&len, sizeof(len));
+  raw(s.data(), s.size());
+  return *this;
+}
+
+Hasher& Hasher::add(std::int64_t v) {
+  raw(&v, sizeof(v));
+  return *this;
+}
+
+Hasher& Hasher::add(std::uint64_t v) {
+  raw(&v, sizeof(v));
+  return *this;
+}
+
+Hasher& Hasher::add(const Hash& h) {
+  raw(h.bytes.data(), h.bytes.size());
+  return *this;
+}
+
+Hasher& Hasher::add_bytes(const std::vector<std::uint8_t>& bytes) {
+  const std::uint64_t len = bytes.size();
+  raw(&len, sizeof(len));
+  raw(bytes.data(), bytes.size());
+  return *this;
+}
+
+Hash Hasher::finish() { return Hash{ctx_.digest()}; }
+
+void Hasher::raw(const void* data, std::size_t len) { ctx_.update(data, len); }
+
+}  // namespace valcon::crypto

@@ -1,0 +1,59 @@
+// Typed 256-bit hash values and a structured hasher.
+//
+// Protocol messages are hashed field-by-field through Hasher, which
+// length-prefixes every component so that distinct structures never collide
+// by concatenation.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "valcon/crypto/sha256.hpp"
+
+namespace valcon::crypto {
+
+/// A 256-bit digest with value semantics, usable as a map key.
+struct Hash {
+  Sha256::Digest bytes{};
+
+  auto operator<=>(const Hash&) const = default;
+
+  /// Short hex prefix, for logs and tables.
+  [[nodiscard]] std::string hex_prefix(std::size_t nibbles = 12) const;
+};
+
+struct HashHasher {
+  std::size_t operator()(const Hash& h) const noexcept {
+    std::size_t out = 0;
+    for (std::size_t i = 0; i < sizeof(std::size_t); ++i) {
+      out = (out << 8) | h.bytes[i];
+    }
+    return out;
+  }
+};
+
+/// Structured, domain-separated hashing. Every field is tagged with its
+/// length; begin with a domain string to separate message types.
+class Hasher {
+ public:
+  explicit Hasher(std::string_view domain);
+
+  Hasher& add(std::string_view s);
+  Hasher& add(std::int64_t v);
+  Hasher& add(std::uint64_t v);
+  Hasher& add(int v) { return add(static_cast<std::int64_t>(v)); }
+  Hasher& add(const Hash& h);
+  Hasher& add_bytes(const std::vector<std::uint8_t>& bytes);
+
+  [[nodiscard]] Hash finish();
+
+ private:
+  void raw(const void* data, std::size_t len);
+  Sha256 ctx_;
+};
+
+}  // namespace valcon::crypto

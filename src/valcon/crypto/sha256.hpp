@@ -1,0 +1,36 @@
+// SHA-256 (FIPS 180-4). Used as the collision-resistant hash function the
+// paper assumes for Appendix B.3 (vector dissemination and ADD) and as the
+// digest underlying the simulated signature scheme.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace valcon::crypto {
+
+/// Incremental SHA-256 context. Feed bytes with update(), finish with
+/// digest(). A context must not be updated after digest() is called.
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  using Digest = std::array<std::uint8_t, kDigestSize>;
+
+  Sha256();
+
+  void update(const void* data, std::size_t len);
+  [[nodiscard]] Digest digest();
+
+  /// One-shot convenience.
+  [[nodiscard]] static Digest hash(const void* data, std::size_t len);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+}  // namespace valcon::crypto

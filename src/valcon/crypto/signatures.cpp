@@ -1,0 +1,73 @@
+#include "valcon/crypto/signatures.hpp"
+
+#include <unordered_set>
+
+namespace valcon::crypto {
+
+namespace {
+
+std::uint64_t truncate(const Hash& h) {
+  std::uint64_t out = 0;
+  for (std::size_t i = 0; i < 8; ++i) out = (out << 8) | h.bytes[i];
+  return out;
+}
+
+}  // namespace
+
+KeyRegistry::KeyRegistry(int n, int k, std::uint64_t seed) : n_(n), k_(k) {
+  root_secret_ =
+      truncate(Hasher("valcon/root-secret").add(seed).finish());
+  secrets_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    secrets_.push_back(truncate(
+        Hasher("valcon/process-secret").add(seed).add(i).finish()));
+  }
+}
+
+std::uint64_t KeyRegistry::mac_for(ProcessId id, const Hash& digest) const {
+  return truncate(Hasher("valcon/sig")
+                      .add(secrets_[static_cast<std::size_t>(id)])
+                      .add(digest)
+                      .finish());
+}
+
+std::uint64_t KeyRegistry::threshold_mac(const Hash& digest) const {
+  return truncate(Hasher("valcon/tsig")
+                      .add(root_secret_)
+                      .add(static_cast<std::int64_t>(k_))
+                      .add(digest)
+                      .finish());
+}
+
+bool KeyRegistry::verify(const Signature& sig) const {
+  if (sig.signer < 0 || sig.signer >= n_) return false;
+  return sig.mac == mac_for(sig.signer, sig.digest);
+}
+
+std::optional<ThresholdSignature> KeyRegistry::combine(
+    const std::vector<Signature>& partials) const {
+  if (static_cast<int>(partials.size()) < k_) return std::nullopt;
+  std::unordered_set<ProcessId> seen;
+  const Hash& digest = partials.front().digest;
+  for (const Signature& partial : partials) {
+    if (partial.digest != digest) return std::nullopt;
+    if (!verify(partial)) return std::nullopt;
+    if (!seen.insert(partial.signer).second) return std::nullopt;
+  }
+  if (static_cast<int>(seen.size()) < k_) return std::nullopt;
+  return ThresholdSignature{digest, threshold_mac(digest)};
+}
+
+bool KeyRegistry::verify(const ThresholdSignature& tsig) const {
+  return tsig.mac == threshold_mac(tsig.digest);
+}
+
+Signer KeyRegistry::signer_for(ProcessId id) const {
+  return Signer(this, id);
+}
+
+Signature Signer::sign(const Hash& digest) const {
+  return Signature{id_, digest, registry_->mac_for(id_, digest)};
+}
+
+}  // namespace valcon::crypto

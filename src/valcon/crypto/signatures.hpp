@@ -1,0 +1,103 @@
+// Simulated public-key infrastructure (PKI) and (k,n)-threshold signatures.
+//
+// The paper assumes a PKI in which faulty processes cannot forge signatures
+// of correct processes (Section 3.1), and Quad / vector dissemination use a
+// (n-t, n)-threshold signature scheme (Appendix B.3). Real asymmetric
+// cryptography is irrelevant to any claim in the paper, so we substitute a
+// registry-backed MAC construction:
+//
+//   sig(i, d)   = SHA256(secret_i || d)            -- per-process secret
+//   tsig(d)     = SHA256(root_secret || k || d)    -- emitted only by combine()
+//
+// Secrets never leave the registry; processes interact through a Signer
+// handle bound to their own identity, so a Byzantine process implemented in
+// this codebase is structurally unable to sign for anyone else. combine()
+// refuses to emit a threshold signature unless presented with k valid partial
+// signatures from k distinct signers, mirroring the real scheme's guarantee.
+//
+// Both Signature and ThresholdSignature count as one "word" in communication
+// accounting, matching the paper's convention (footnote 4).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "valcon/common.hpp"
+#include "valcon/crypto/hash.hpp"
+
+namespace valcon::crypto {
+
+/// A digital signature by `signer` over `digest`.
+struct Signature {
+  ProcessId signer = -1;
+  Hash digest;
+  std::uint64_t mac = 0;
+
+  bool operator==(const Signature&) const = default;
+};
+
+/// A combined (k, n)-threshold signature over `digest`.
+struct ThresholdSignature {
+  Hash digest;
+  std::uint64_t mac = 0;
+
+  bool operator==(const ThresholdSignature&) const = default;
+};
+
+class Signer;
+
+/// Holds every process's signing secret plus the threshold-scheme root.
+/// One registry per simulated deployment.
+class KeyRegistry {
+ public:
+  /// `k` is the combining threshold (the paper uses k = n - t).
+  KeyRegistry(int n, int k, std::uint64_t seed);
+
+  [[nodiscard]] int n() const { return n_; }
+  [[nodiscard]] int threshold_k() const { return k_; }
+
+  /// Verifies an individual signature.
+  [[nodiscard]] bool verify(const Signature& sig) const;
+
+  /// Combines k valid partial signatures from distinct signers over the same
+  /// digest into a threshold signature. Returns nullopt if the preconditions
+  /// are not met (wrong count, duplicate signer, invalid partial, mixed
+  /// digests).
+  [[nodiscard]] std::optional<ThresholdSignature> combine(
+      const std::vector<Signature>& partials) const;
+
+  /// Verifies a combined threshold signature.
+  [[nodiscard]] bool verify(const ThresholdSignature& tsig) const;
+
+  /// Returns the signer handle for process `id`. The handle only signs with
+  /// `id`'s key: this is the structural unforgeability boundary.
+  [[nodiscard]] Signer signer_for(ProcessId id) const;
+
+ private:
+  friend class Signer;
+
+  [[nodiscard]] std::uint64_t mac_for(ProcessId id, const Hash& digest) const;
+  [[nodiscard]] std::uint64_t threshold_mac(const Hash& digest) const;
+
+  int n_;
+  int k_;
+  std::uint64_t root_secret_;
+  std::vector<std::uint64_t> secrets_;
+};
+
+/// Per-process signing capability.
+class Signer {
+ public:
+  Signer(const KeyRegistry* registry, ProcessId id)
+      : registry_(registry), id_(id) {}
+
+  [[nodiscard]] ProcessId id() const { return id_; }
+  [[nodiscard]] Signature sign(const Hash& digest) const;
+
+ private:
+  const KeyRegistry* registry_;
+  ProcessId id_;
+};
+
+}  // namespace valcon::crypto

@@ -1,0 +1,142 @@
+#include "valcon/harness/scenario.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "valcon/consensus/auth_vector_consensus.hpp"
+#include "valcon/consensus/fast_vector_consensus.hpp"
+#include "valcon/consensus/nonauth_vector_consensus.hpp"
+#include "valcon/sim/adversary.hpp"
+
+namespace valcon::harness {
+
+std::string to_string(VcKind kind) {
+  switch (kind) {
+    case VcKind::kAuthenticated: return "auth(Alg1)";
+    case VcKind::kNonAuthenticated: return "nonauth(Alg3)";
+    case VcKind::kFast: return "fast(Alg6)";
+  }
+  return "?";
+}
+
+bool RunResult::all_correct_decided(const ScenarioConfig& cfg) const {
+  for (ProcessId p = 0; p < cfg.n; ++p) {
+    if (cfg.faults.count(p) != 0) continue;
+    if (decisions.count(p) == 0) return false;
+  }
+  return true;
+}
+
+bool RunResult::agreement() const {
+  std::optional<Value> seen;
+  for (const auto& [pid, v] : decisions) {
+    if (seen.has_value() && *seen != v) return false;
+    seen = v;
+  }
+  return true;
+}
+
+std::optional<Value> RunResult::common_decision() const {
+  if (decisions.empty() || !agreement()) return std::nullopt;
+  return decisions.begin()->second;
+}
+
+namespace {
+
+std::unique_ptr<consensus::VectorConsensus> make_vc(const ScenarioConfig& cfg) {
+  consensus::QuadOptions quad_options;
+  quad_options.decide_echo = cfg.quad_decide_echo;
+  switch (cfg.vc) {
+    case VcKind::kAuthenticated:
+      return std::make_unique<consensus::AuthVectorConsensus>(quad_options);
+    case VcKind::kNonAuthenticated:
+      return std::make_unique<consensus::NonAuthVectorConsensus>(cfg.n);
+    case VcKind::kFast:
+      return std::make_unique<consensus::FastVectorConsensus>(quad_options);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+std::unique_ptr<core::Universal> make_universal(
+    const ScenarioConfig& cfg, Value proposal, core::LambdaFn lambda,
+    core::Universal::DecideCb on_decide) {
+  auto universal = std::make_unique<core::Universal>(
+      make_vc(cfg), std::move(lambda), std::move(on_decide));
+  universal->propose(proposal);
+  return universal;
+}
+
+RunResult run_universal(const ScenarioConfig& cfg,
+                        const core::LambdaFn& lambda) {
+  assert(static_cast<int>(cfg.proposals.size()) == cfg.n);
+
+  sim::SimConfig sim_cfg;
+  sim_cfg.n = cfg.n;
+  sim_cfg.t = cfg.t;
+  sim_cfg.seed = cfg.seed;
+  sim_cfg.net.gst = cfg.gst;
+  sim_cfg.net.delta = cfg.delta;
+  sim::Simulator simulator(sim_cfg);
+
+  auto result = std::make_shared<RunResult>();
+
+  for (ProcessId p = 0; p < cfg.n; ++p) {
+    const auto fault = cfg.faults.find(p);
+    if (fault != cfg.faults.end() && fault->second.kind == FaultKind::kSilent) {
+      simulator.mark_faulty(p);
+      simulator.add_process(p, std::make_unique<sim::SilentProcess>());
+      continue;
+    }
+    auto universal = make_universal(
+        cfg, cfg.proposals[static_cast<std::size_t>(p)], lambda,
+        [result, p](sim::Context& ctx, Value v) {
+          result->decisions[p] = v;
+          result->decide_times[p] = ctx.now();
+          result->last_decision_time =
+              std::max(result->last_decision_time, ctx.now());
+        });
+    core::Universal* universal_raw = universal.get();
+    std::unique_ptr<sim::Process> process =
+        std::make_unique<sim::ComponentHost>(std::move(universal));
+    if (fault != cfg.faults.end() && fault->second.kind == FaultKind::kCrash) {
+      simulator.mark_faulty(p);
+      process = std::make_unique<sim::CrashShim>(std::move(process),
+                                                 fault->second.crash_time);
+    }
+    static_cast<void>(universal_raw);
+    simulator.add_process(p, std::move(process));
+  }
+
+  result->events = simulator.run(cfg.horizon);
+  result->message_complexity = simulator.metrics().message_complexity();
+  result->word_complexity = simulator.metrics().communication_complexity();
+  result->messages_total = simulator.metrics().messages_total();
+  // Crashed processes may have "decided" before crashing; they are faulty,
+  // so drop them from the correctness-facing views.
+  for (const auto& [pid, fault] : cfg.faults) {
+    result->decisions.erase(pid);
+    result->decide_times.erase(pid);
+  }
+  return *result;
+}
+
+double loglog_slope(const std::vector<double>& xs,
+                    const std::vector<double>& ys) {
+  assert(xs.size() == ys.size() && xs.size() >= 2);
+  const std::size_t m = xs.size();
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const double lx = std::log(xs[i]);
+    const double ly = std::log(ys[i]);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+  }
+  const double denom = static_cast<double>(m) * sxx - sx * sx;
+  return (static_cast<double>(m) * sxy - sx * sy) / denom;
+}
+
+}  // namespace valcon::harness

@@ -1,0 +1,85 @@
+// Deployment harness: spins up a simulated system running Universal on a
+// chosen vector-consensus implementation, injects faults, runs to
+// quiescence, and collects decisions plus the paper's complexity metrics.
+// Used by the tests, the benches (EXPERIMENTS.md E2, E4-E8) and the
+// examples.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "valcon/core/universal.hpp"
+#include "valcon/sim/simulator.hpp"
+
+namespace valcon::harness {
+
+enum class VcKind {
+  kAuthenticated,     // Algorithm 1 (signed proposals + Quad)
+  kNonAuthenticated,  // Algorithm 3 (BRB + n binary consensus instances)
+  kFast,              // Algorithm 6 (dissemination + Quad-on-hashes + ADD)
+};
+
+[[nodiscard]] std::string to_string(VcKind kind);
+
+enum class FaultKind {
+  kSilent,   // canonical behavior: no computational steps at all
+  kCrash,    // correct until crash_time, then silent
+};
+
+struct Fault {
+  FaultKind kind = FaultKind::kSilent;
+  Time crash_time = 0.0;
+};
+
+struct ScenarioConfig {
+  int n = 4;
+  int t = 1;
+  Time delta = 1.0;
+  Time gst = 0.0;
+  std::uint64_t seed = 1;
+  VcKind vc = VcKind::kAuthenticated;
+  /// Proposal per process (index = process id). Faulty entries are used by
+  /// Byzantine-but-behaving processes where applicable.
+  std::vector<Value> proposals;
+  /// Faults by process id; all other processes are correct.
+  std::map<ProcessId, Fault> faults;
+  /// Simulated-time horizon (safety net against livelock).
+  Time horizon = 1e9;
+  /// Ablation (bench E5): disable Quad's decide-echo wave.
+  bool quad_decide_echo = true;
+};
+
+struct RunResult {
+  std::map<ProcessId, Value> decisions;          // correct processes only
+  std::map<ProcessId, Time> decide_times;
+  std::map<ProcessId, core::InputConfig> vectors;  // decided vectors
+  std::uint64_t message_complexity = 0;   // msgs by correct senders >= GST
+  std::uint64_t word_complexity = 0;      // words by correct senders >= GST
+  std::uint64_t messages_total = 0;
+  std::uint64_t events = 0;
+  Time last_decision_time = 0.0;
+
+  [[nodiscard]] bool all_correct_decided(const ScenarioConfig& cfg) const;
+  [[nodiscard]] bool agreement() const;
+  [[nodiscard]] std::optional<Value> common_decision() const;
+};
+
+/// Builds a Universal stack for one process (shared by tests and benches).
+[[nodiscard]] std::unique_ptr<core::Universal> make_universal(
+    const ScenarioConfig& cfg, Value proposal, core::LambdaFn lambda,
+    core::Universal::DecideCb on_decide);
+
+/// Runs Universal end to end with the given Λ.
+[[nodiscard]] RunResult run_universal(const ScenarioConfig& cfg,
+                                      const core::LambdaFn& lambda);
+
+/// Least-squares slope of log(y) against log(x): the empirical scaling
+/// exponent of a complexity curve.
+[[nodiscard]] double loglog_slope(const std::vector<double>& xs,
+                                  const std::vector<double>& ys);
+
+}  // namespace valcon::harness

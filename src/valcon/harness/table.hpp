@@ -1,0 +1,57 @@
+// Plain-text table rendering for the bench binaries (EXPERIMENTS.md): each
+// bench prints the rows/series the corresponding paper artifact reports.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace valcon::harness {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      widths[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    const auto print_row = [&](const std::vector<std::string>& row) {
+      os << "|";
+      for (std::size_t c = 0; c < widths.size(); ++c) {
+        const std::string& cell = c < row.size() ? row[c] : "";
+        os << " " << cell << std::string(widths[c] - cell.size(), ' ') << " |";
+      }
+      os << "\n";
+    };
+    print_row(headers_);
+    os << "|";
+    for (const std::size_t w : widths) {
+      os << std::string(w + 2, '-') << "|";
+    }
+    os << "\n";
+    for (const auto& row : rows_) print_row(row);
+  }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision double formatting for table cells.
+[[nodiscard]] inline std::string fmt(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace valcon::harness

@@ -1,0 +1,37 @@
+// The Theorem 4 experiment: the E_base adversary of the extended
+// Dolev-Reischuk bound.
+//
+// Groups: A = n - ceil(t/2) correct processes, B = ceil(t/2) faulty ones
+// that behave correctly (same proposal v*), except that each member of B
+// (1) ignores the first ceil(t/2) messages it receives and (2) omits
+// sending messages to other members of B. GST = 0, so every message sent by
+// a correct process counts.
+//
+// Theorem 4 proves any consensus algorithm with a non-trivial validity
+// property must make correct processes send *more than* (ceil(t/2))^2
+// messages in this execution — otherwise the pigeonhole argument (Lemma 5)
+// yields a process in B that decides without hearing anyone, and the merge
+// with E_v (Lemma 7) breaks Agreement. The experiment measures Universal's
+// actual message count against the bound.
+#pragma once
+
+#include <cstdint>
+
+#include "valcon/harness/scenario.hpp"
+
+namespace valcon::lb {
+
+struct EbaseOutcome {
+  std::uint64_t correct_messages = 0;  // sent by A (GST = 0: all count)
+  std::uint64_t bound = 0;             // (ceil(t/2))^2
+  bool bound_respected = false;        // correct_messages > bound
+  bool all_correct_decided = false;
+  bool agreement = false;
+};
+
+/// Runs Universal (given vector-consensus flavor) against E_base.
+[[nodiscard]] EbaseOutcome run_ebase_experiment(int n, int t,
+                                                harness::VcKind vc,
+                                                std::uint64_t seed);
+
+}  // namespace valcon::lb

@@ -1,0 +1,41 @@
+// The partitioning/merging construction behind Theorem 1 (and Lemma 2),
+// executed for real on the simulator.
+//
+// With n <= 3t, quorums of size n-t need not intersect in a correct
+// process. The experiment splits the system into groups A (n-2t), B (t,
+// Byzantine, split-brain) and C (t), delays all A <-> C traffic until both
+// sides decide (legal before GST), and lets each B member run two
+// independent copies of the full Universal stack — one facing A (proposing
+// like A), one facing C (proposing like C).
+//
+//   n = 3t   : side A∪B and side C∪B each muster n-t participants; both
+//              reach (conflicting) decisions — Agreement is violated
+//              between *correct* processes, exactly the contradiction in
+//              Lemma 2's merged execution E.
+//   n = 3t+1 : the C side is one process short of a quorum; it stalls until
+//              GST and then adopts the A-side decision — no violation,
+//              matching the paper's n > 3t solvability frontier.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "valcon/harness/scenario.hpp"
+
+namespace valcon::lb {
+
+struct PartitionOutcome {
+  std::map<ProcessId, Value> decisions;  // correct processes (A and C)
+  bool agreement_violated = false;
+  std::optional<Value> side_a_value;
+  std::optional<Value> side_c_value;
+  std::uint64_t events = 0;
+};
+
+/// Runs the attack on Universal over authenticated vector consensus with
+/// Strong Validity. `n` must be 3t or 3t+1.
+[[nodiscard]] PartitionOutcome run_partition_experiment(int n, int t,
+                                                        std::uint64_t seed);
+
+}  // namespace valcon::lb

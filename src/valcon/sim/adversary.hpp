@@ -1,0 +1,207 @@
+// Byzantine behaviors used by the paper's proof constructions.
+//
+//  * SilentProcess     — crashes at time 0 (canonical executions, §3.1: "no
+//                        faulty process takes any computational step").
+//  * CrashShim         — behaves correctly, then stops at a given time.
+//  * MessageDropShim   — the Theorem 4 (Dolev-Reischuk) adversary: behaves
+//                        correctly except it ignores the first k messages it
+//                        receives and omits sending to a designated group.
+//  * TwoFacedProcess   — the partitioning adversary of Lemma 2 / Theorem 1:
+//                        runs two independent copies of a correct protocol,
+//                        one facing each partition side, so each side
+//                        observes a consistent-looking (but equivocating)
+//                        participant.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "valcon/sim/process.hpp"
+
+namespace valcon::sim {
+
+class SilentProcess final : public Process {};
+
+/// Wraps an inner process; ignores every event at/after `crash_time`.
+class CrashShim final : public Process {
+ public:
+  CrashShim(std::unique_ptr<Process> inner, Time crash_time)
+      : inner_(std::move(inner)), crash_time_(crash_time) {}
+
+  void on_start(Context& ctx) override {
+    if (ctx.now() < crash_time_) inner_->on_start(ctx);
+  }
+  void on_message(Context& ctx, ProcessId from, const PayloadPtr& m) override {
+    if (ctx.now() < crash_time_) inner_->on_message(ctx, from, m);
+  }
+  void on_timer(Context& ctx, std::uint64_t tag) override {
+    if (ctx.now() < crash_time_) inner_->on_timer(ctx, tag);
+  }
+
+ private:
+  std::unique_ptr<Process> inner_;
+  Time crash_time_;
+};
+
+/// The E_base adversary of Theorem 4: correct behavior, except that the
+/// first `ignore_count` received messages are dropped and no message is sent
+/// to processes in `omit_to`.
+class MessageDropShim final : public Process {
+ public:
+  MessageDropShim(std::unique_ptr<Process> inner, int ignore_count,
+                  std::vector<ProcessId> omit_to)
+      : inner_(std::move(inner)),
+        ignore_remaining_(ignore_count),
+        omit_to_(std::move(omit_to)) {}
+
+  void on_start(Context& ctx) override {
+    FilterCtx fctx(this, ctx);
+    inner_->on_start(fctx);
+  }
+  void on_message(Context& ctx, ProcessId from, const PayloadPtr& m) override {
+    if (ignore_remaining_ > 0) {
+      --ignore_remaining_;
+      return;
+    }
+    FilterCtx fctx(this, ctx);
+    inner_->on_message(fctx, from, m);
+  }
+  void on_timer(Context& ctx, std::uint64_t tag) override {
+    FilterCtx fctx(this, ctx);
+    inner_->on_timer(fctx, tag);
+  }
+
+ private:
+  class FilterCtx final : public Context {
+   public:
+    FilterCtx(MessageDropShim* shim, Context& base)
+        : shim_(shim), base_(base) {}
+
+    [[nodiscard]] Time now() const override { return base_.now(); }
+    [[nodiscard]] ProcessId id() const override { return base_.id(); }
+    [[nodiscard]] int n() const override { return base_.n(); }
+    [[nodiscard]] int t() const override { return base_.t(); }
+    [[nodiscard]] Time delta() const override { return base_.delta(); }
+    void send(ProcessId to, PayloadPtr payload) override {
+      for (ProcessId omit : shim_->omit_to_) {
+        if (omit == to) return;
+      }
+      base_.send(to, std::move(payload));
+    }
+    void set_timer(Time delay, std::uint64_t tag) override {
+      base_.set_timer(delay, tag);
+    }
+    [[nodiscard]] const crypto::KeyRegistry& keys() const override {
+      return base_.keys();
+    }
+    [[nodiscard]] const crypto::Signer& signer() const override {
+      return base_.signer();
+    }
+    [[nodiscard]] Rng& rng() override { return base_.rng(); }
+
+   private:
+    MessageDropShim* shim_;
+    Context& base_;
+  };
+
+  std::unique_ptr<Process> inner_;
+  int ignore_remaining_;
+  std::vector<ProcessId> omit_to_;
+};
+
+/// Split-brain equivocator. `side(p)` assigns every process to face 0 or 1;
+/// inbound messages are routed to the matching inner copy, and each copy's
+/// outbound traffic is confined to its own side. Timers are tagged per face.
+class TwoFacedProcess final : public Process {
+ public:
+  /// Wrapper for self-addressed messages so they return to the same face.
+  struct FacedSelfMsg final : Payload {
+    FacedSelfMsg(int f, PayloadPtr m) : face(f), inner(std::move(m)) {}
+    [[nodiscard]] const char* type_name() const override {
+      return inner->type_name();
+    }
+    [[nodiscard]] std::size_t size_words() const override {
+      return inner->size_words();
+    }
+    int face;
+    PayloadPtr inner;
+  };
+
+  TwoFacedProcess(std::unique_ptr<Process> face0,
+                  std::unique_ptr<Process> face1,
+                  std::function<int(ProcessId)> side)
+      : side_(std::move(side)) {
+    faces_[0] = std::move(face0);
+    faces_[1] = std::move(face1);
+  }
+
+  void on_start(Context& ctx) override {
+    for (int f = 0; f < 2; ++f) {
+      FaceCtx fctx(this, ctx, f);
+      faces_[static_cast<std::size_t>(f)]->on_start(fctx);
+    }
+  }
+
+  void on_message(Context& ctx, ProcessId from, const PayloadPtr& m) override {
+    if (const auto* self = dynamic_cast<const FacedSelfMsg*>(m.get())) {
+      FaceCtx fctx(this, ctx, self->face);
+      faces_[static_cast<std::size_t>(self->face)]->on_message(fctx, from,
+                                                               self->inner);
+      return;
+    }
+    const int f = side_(from);
+    FaceCtx fctx(this, ctx, f);
+    faces_[static_cast<std::size_t>(f)]->on_message(fctx, from, m);
+  }
+
+  void on_timer(Context& ctx, std::uint64_t tag) override {
+    const int f = static_cast<int>(tag & 1);
+    FaceCtx fctx(this, ctx, f);
+    faces_[static_cast<std::size_t>(f)]->on_timer(fctx, tag >> 1);
+  }
+
+ private:
+  class FaceCtx final : public Context {
+   public:
+    FaceCtx(TwoFacedProcess* shim, Context& base, int face)
+        : shim_(shim), base_(base), face_(face) {}
+
+    [[nodiscard]] Time now() const override { return base_.now(); }
+    [[nodiscard]] ProcessId id() const override { return base_.id(); }
+    [[nodiscard]] int n() const override { return base_.n(); }
+    [[nodiscard]] int t() const override { return base_.t(); }
+    [[nodiscard]] Time delta() const override { return base_.delta(); }
+    void send(ProcessId to, PayloadPtr payload) override {
+      if (to == base_.id()) {
+        base_.send(to, make_payload<FacedSelfMsg>(face_, std::move(payload)));
+        return;
+      }
+      if (shim_->side_(to) != face_) return;
+      base_.send(to, std::move(payload));
+    }
+    void set_timer(Time delay, std::uint64_t tag) override {
+      base_.set_timer(delay, (tag << 1) | static_cast<std::uint64_t>(face_));
+    }
+    [[nodiscard]] const crypto::KeyRegistry& keys() const override {
+      return base_.keys();
+    }
+    [[nodiscard]] const crypto::Signer& signer() const override {
+      return base_.signer();
+    }
+    [[nodiscard]] Rng& rng() override { return base_.rng(); }
+
+   private:
+    TwoFacedProcess* shim_;
+    Context& base_;
+    int face_;
+  };
+
+  std::array<std::unique_ptr<Process>, 2> faces_;
+  std::function<int(ProcessId)> side_;
+};
+
+}  // namespace valcon::sim

@@ -1,0 +1,62 @@
+// Complexity accounting, exactly as defined in Section 3.1 of the paper:
+//
+//   "The message complexity of E is the number of messages sent by correct
+//    processes during [GST, infinity)."
+//
+// Communication complexity counts words instead (footnote 4). Totals over
+// the whole execution (including pre-GST and faulty senders) are also kept
+// for diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "valcon/common.hpp"
+
+namespace valcon::sim {
+
+class Metrics {
+ public:
+  void on_send(bool sender_correct, bool post_gst, std::size_t words,
+               const char* type_name) {
+    ++messages_total_;
+    words_total_ += words;
+    if (sender_correct && post_gst) {
+      ++messages_post_gst_;
+      words_post_gst_ += words;
+      by_type_[type_name] += 1;
+    }
+  }
+
+  /// Messages sent by correct processes at/after GST (paper's metric).
+  [[nodiscard]] std::uint64_t message_complexity() const {
+    return messages_post_gst_;
+  }
+  /// Words sent by correct processes at/after GST (paper's footnote 4).
+  [[nodiscard]] std::uint64_t communication_complexity() const {
+    return words_post_gst_;
+  }
+  [[nodiscard]] std::uint64_t messages_total() const { return messages_total_; }
+  [[nodiscard]] std::uint64_t words_total() const { return words_total_; }
+
+  /// Post-GST correct-sender message counts per payload type.
+  [[nodiscard]] const std::map<std::string, std::uint64_t>& by_type() const {
+    return by_type_;
+  }
+
+  void reset() {
+    messages_total_ = words_total_ = 0;
+    messages_post_gst_ = words_post_gst_ = 0;
+    by_type_.clear();
+  }
+
+ private:
+  std::uint64_t messages_total_ = 0;
+  std::uint64_t words_total_ = 0;
+  std::uint64_t messages_post_gst_ = 0;
+  std::uint64_t words_post_gst_ = 0;
+  std::map<std::string, std::uint64_t> by_type_;
+};
+
+}  // namespace valcon::sim

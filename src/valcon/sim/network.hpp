@@ -1,0 +1,113 @@
+// The partially synchronous network of Dwork-Lynch-Stockmeyer [42], as used
+// in Section 3.1:
+//
+//  * there is a Global Stabilization Time (GST) and a bound delta such that
+//    every message sent by a correct process at time s is delivered by
+//    max(s, GST) + delta;
+//  * before GST the adversary schedules deliveries arbitrarily (within that
+//    bound); after GST it still chooses delays, but only within delta.
+//
+// The adversary surface: per-link holds (delay a link until a given time,
+// clipped to the model bound), permanent link blocks (allowed only for
+// faulty senders — the network is reliable between correct processes), and
+// a custom delay policy hook.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <utility>
+
+#include "valcon/common.hpp"
+#include "valcon/sim/rng.hpp"
+
+namespace valcon::sim {
+
+struct NetworkConfig {
+  Time gst = 0.0;
+  Time delta = 1.0;
+  /// Minimum network latency (> 0 keeps event ordering sane).
+  Time min_delay = 1e-3;
+  /// Default cap on adversarial pre-GST delays when no hold is installed.
+  /// The model allows anything up to (GST - s) + delta; experiments that
+  /// need long pre-GST delays install holds explicitly.
+  Time default_pre_gst_cap = 3.0;
+};
+
+class Network {
+ public:
+  Network(NetworkConfig config, std::uint64_t seed)
+      : config_(config), rng_(seed) {}
+
+  [[nodiscard]] const NetworkConfig& config() const { return config_; }
+
+  /// Delay all (from -> to) deliveries so they arrive no earlier than
+  /// `until` (clipped to the model bound max(send, GST) + delta).
+  void hold(ProcessId from, ProcessId to, Time until) {
+    holds_[{from, to}] = until;
+  }
+
+  /// Symmetric hold between two groups of processes.
+  template <typename GroupA, typename GroupB>
+  void hold_between(const GroupA& a, const GroupB& b, Time until) {
+    for (ProcessId x : a) {
+      for (ProcessId y : b) {
+        hold(x, y, until);
+        hold(y, x, until);
+      }
+    }
+  }
+
+  /// Permanently drop messages from `from` to `to`. Only legal when `from`
+  /// is faulty (the caller asserts that; the network is reliable between
+  /// correct processes).
+  void block(ProcessId from, ProcessId to) { blocked_.insert({from, to}); }
+
+  /// Optional custom policy: returns the desired arrival time for a message
+  /// (before clamping to the model bounds), or nullopt to use the default.
+  using DelayPolicy = std::function<std::optional<Time>(
+      ProcessId from, ProcessId to, Time send_time)>;
+  void set_delay_policy(DelayPolicy policy) { policy_ = std::move(policy); }
+
+  /// Returns the arrival time for a message, or nullopt if dropped.
+  [[nodiscard]] std::optional<Time> arrival_time(ProcessId from, ProcessId to,
+                                                 Time send_time) {
+    if (blocked_.count({from, to}) != 0) return std::nullopt;
+    const Time lower = send_time + config_.min_delay;
+    const Time upper = model_bound(send_time);
+
+    Time arrival;
+    std::optional<Time> custom;
+    if (policy_) custom = policy_(from, to, send_time);
+    if (custom.has_value()) {
+      arrival = *custom;
+    } else if (send_time >= config_.gst) {
+      arrival = send_time + rng_.uniform(config_.min_delay, config_.delta);
+    } else {
+      const Time cap = std::min(upper, send_time + config_.default_pre_gst_cap);
+      arrival = rng_.uniform(lower, cap);
+    }
+    if (auto it = holds_.find({from, to}); it != holds_.end()) {
+      arrival = std::max(arrival, it->second);
+    }
+    if (arrival < lower) arrival = lower;
+    if (arrival > upper) arrival = upper;
+    return arrival;
+  }
+
+  /// max(s, GST) + delta: the latest the model permits delivery.
+  [[nodiscard]] Time model_bound(Time send_time) const {
+    return std::max(send_time, config_.gst) + config_.delta;
+  }
+
+ private:
+  NetworkConfig config_;
+  Rng rng_;
+  std::map<std::pair<ProcessId, ProcessId>, Time> holds_;
+  std::set<std::pair<ProcessId, ProcessId>> blocked_;
+  DelayPolicy policy_;
+};
+
+}  // namespace valcon::sim

@@ -1,0 +1,33 @@
+// Message payloads.
+//
+// Every protocol message derives from Payload. Payloads are immutable and
+// shared: the network hands the same object to every recipient. size_words()
+// implements the paper's communication-complexity accounting (footnote 4):
+// a word holds a constant number of values, hashes and signatures, so e.g. a
+// vector of x proposals costs x words and a threshold signature costs 1.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+namespace valcon::sim {
+
+class Payload {
+ public:
+  virtual ~Payload() = default;
+
+  /// Stable name used for metrics breakdowns (e.g. "quad/propose").
+  [[nodiscard]] virtual const char* type_name() const = 0;
+
+  /// Size in words for communication-complexity accounting.
+  [[nodiscard]] virtual std::size_t size_words() const { return 1; }
+};
+
+using PayloadPtr = std::shared_ptr<const Payload>;
+
+template <typename T, typename... Args>
+PayloadPtr make_payload(Args&&... args) {
+  return std::make_shared<const T>(std::forward<Args>(args)...);
+}
+
+}  // namespace valcon::sim

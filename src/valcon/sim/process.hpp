@@ -1,0 +1,60 @@
+// Process and Context: the interface between protocol code and the
+// simulator.
+//
+// A Process is a deterministic state machine driven by three callbacks
+// (start, message delivery, timer expiry), mirroring the computational model
+// of Section 3.1. All interaction with the environment happens through the
+// Context passed to each callback: sending, broadcasting, timers, the PKI
+// and the per-process RNG. Context is abstract so that Byzantine shims and
+// protocol multiplexers can interpose transparently.
+#pragma once
+
+#include <cstdint>
+
+#include "valcon/common.hpp"
+#include "valcon/crypto/signatures.hpp"
+#include "valcon/sim/payload.hpp"
+#include "valcon/sim/rng.hpp"
+
+namespace valcon::sim {
+
+class Context {
+ public:
+  virtual ~Context() = default;
+
+  [[nodiscard]] virtual Time now() const = 0;
+  [[nodiscard]] virtual ProcessId id() const = 0;
+  [[nodiscard]] virtual int n() const = 0;
+  [[nodiscard]] virtual int t() const = 0;
+  /// Post-GST message-delay bound delta (known to processes, per the model).
+  [[nodiscard]] virtual Time delta() const = 0;
+
+  /// Point-to-point authenticated send.
+  virtual void send(ProcessId to, PayloadPtr payload) = 0;
+
+  /// Best-effort broadcast: a plain send to every process, self included.
+  /// (This is the paper's `beb` instance [23]: no guarantees with a faulty
+  /// sender beyond what the network gives.)
+  virtual void broadcast(const PayloadPtr& payload) {
+    for (ProcessId p = 0; p < n(); ++p) send(p, payload);
+  }
+
+  /// Schedules on_timer(tag) after `delay` local time. Timers cannot be
+  /// cancelled; protocols must guard stale timers with their own state.
+  virtual void set_timer(Time delay, std::uint64_t tag) = 0;
+
+  [[nodiscard]] virtual const crypto::KeyRegistry& keys() const = 0;
+  [[nodiscard]] virtual const crypto::Signer& signer() const = 0;
+  [[nodiscard]] virtual Rng& rng() = 0;
+};
+
+class Process {
+ public:
+  virtual ~Process() = default;
+
+  virtual void on_start(Context&) {}
+  virtual void on_message(Context&, ProcessId /*from*/, const PayloadPtr&) {}
+  virtual void on_timer(Context&, std::uint64_t /*tag*/) {}
+};
+
+}  // namespace valcon::sim

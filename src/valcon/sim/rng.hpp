@@ -1,0 +1,42 @@
+// Deterministic pseudo-random number generation (splitmix64).
+//
+// All nondeterminism in a simulation (network delays, tie-breaking in
+// adversary policies) flows from one seeded stream, so every execution is
+// reproducible from (config, seed).
+#pragma once
+
+#include <cstdint>
+
+#include "valcon/common.hpp"
+
+namespace valcon::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed + 0x9e3779b97f4a7c15ULL) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound) { return next() % bound; }
+
+  /// Uniform double in [lo, hi].
+  double uniform(double lo, double hi) {
+    const double unit =
+        static_cast<double>(next() >> 11) * (1.0 / 9007199254740992.0);
+    return lo + unit * (hi - lo);
+  }
+
+  /// Derives an independent stream (for per-process RNGs).
+  Rng fork() { return Rng(next()); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace valcon::sim

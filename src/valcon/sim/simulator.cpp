@@ -1,0 +1,132 @@
+#include "valcon/sim/simulator.hpp"
+
+namespace valcon::sim {
+
+class Simulator::ProcessContext final : public Context {
+ public:
+  ProcessContext(Simulator* sim, ProcessId id, std::uint64_t rng_seed)
+      : sim_(sim),
+        id_(id),
+        signer_(sim->keys_.signer_for(id)),
+        rng_(rng_seed) {}
+
+  [[nodiscard]] Time now() const override { return sim_->now_; }
+  [[nodiscard]] ProcessId id() const override { return id_; }
+  [[nodiscard]] int n() const override { return sim_->config_.n; }
+  [[nodiscard]] int t() const override { return sim_->config_.t; }
+  [[nodiscard]] Time delta() const override {
+    return sim_->config_.net.delta;
+  }
+
+  void send(ProcessId to, PayloadPtr payload) override {
+    sim_->do_send(id_, to, std::move(payload));
+  }
+
+  void set_timer(Time delay, std::uint64_t tag) override {
+    sim_->do_set_timer(id_, delay, tag);
+  }
+
+  [[nodiscard]] const crypto::KeyRegistry& keys() const override {
+    return sim_->keys_;
+  }
+  [[nodiscard]] const crypto::Signer& signer() const override {
+    return signer_;
+  }
+  [[nodiscard]] Rng& rng() override { return rng_; }
+
+ private:
+  Simulator* sim_;
+  ProcessId id_;
+  crypto::Signer signer_;
+  Rng rng_;
+};
+
+Simulator::~Simulator() = default;
+
+Simulator::Simulator(SimConfig config)
+    : config_(config),
+      network_(config.net, config.seed * 0x9e3779b1ULL + 17),
+      keys_(config.n, config.threshold_k > 0 ? config.threshold_k
+                                             : config.n - config.t,
+            config.seed),
+      processes_(static_cast<std::size_t>(config.n)),
+      contexts_(static_cast<std::size_t>(config.n)),
+      faulty_(static_cast<std::size_t>(config.n), false),
+      started_(static_cast<std::size_t>(config.n), false) {
+  assert(config.n > 0 && config.t >= 0 && config.t < config.n);
+}
+
+void Simulator::add_process(ProcessId id, std::unique_ptr<Process> process,
+                            Time start_time) {
+  const auto idx = static_cast<std::size_t>(id);
+  assert(idx < processes_.size() && !processes_[idx]);
+  processes_[idx] = std::move(process);
+  contexts_[idx] = std::make_unique<ProcessContext>(
+      this, id, config_.seed * 1000003ULL + static_cast<std::uint64_t>(id));
+  queue_.push(Event{start_time, next_seq_++, EventKind::kStart, id, -1,
+                    nullptr, 0});
+}
+
+void Simulator::mark_faulty(ProcessId id) {
+  faulty_[static_cast<std::size_t>(id)] = true;
+}
+
+std::uint64_t Simulator::run(Time horizon) {
+  std::uint64_t events = 0;
+  while (step(horizon)) ++events;
+  return events;
+}
+
+bool Simulator::step(Time horizon) {
+  if (queue_.empty()) return false;
+  const Event event = queue_.top();
+  if (event.time > horizon) return false;
+  queue_.pop();
+  now_ = std::max(now_, event.time);
+  dispatch(event);
+  return true;
+}
+
+void Simulator::dispatch(const Event& event) {
+  const auto idx = static_cast<std::size_t>(event.target);
+  Process* process = processes_[idx].get();
+  if (process == nullptr) return;
+  Context& ctx = *contexts_[idx];
+  switch (event.kind) {
+    case EventKind::kStart:
+      started_[idx] = true;
+      process->on_start(ctx);
+      break;
+    case EventKind::kDeliver:
+      if (!started_[idx]) return;  // model: no steps before local start
+      process->on_message(ctx, event.from, event.payload);
+      break;
+    case EventKind::kTimer:
+      if (!started_[idx]) return;
+      process->on_timer(ctx, event.tag);
+      break;
+  }
+}
+
+void Simulator::do_send(ProcessId from, ProcessId to, PayloadPtr payload) {
+  assert(to >= 0 && to < config_.n);
+  const bool correct = !faulty_[static_cast<std::size_t>(from)];
+  const bool post_gst = now_ >= config_.net.gst;
+  metrics_.on_send(correct, post_gst, payload->size_words(),
+                   payload->type_name());
+  const std::optional<Time> arrival = network_.arrival_time(from, to, now_);
+  if (!arrival.has_value()) {
+    assert(!correct && "the network is reliable between correct processes");
+    return;
+  }
+  queue_.push(Event{*arrival, next_seq_++, EventKind::kDeliver, to, from,
+                    std::move(payload), 0});
+}
+
+void Simulator::do_set_timer(ProcessId pid, Time delay, std::uint64_t tag) {
+  assert(delay >= 0);
+  queue_.push(Event{now_ + delay, next_seq_++, EventKind::kTimer, pid, -1,
+                    nullptr, tag});
+}
+
+}  // namespace valcon::sim

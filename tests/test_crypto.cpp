@@ -1,0 +1,159 @@
+// Unit tests: SHA-256 (FIPS vectors), structured hashing, the simulated PKI
+// and the (k, n)-threshold signature scheme.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "valcon/crypto/hash.hpp"
+#include "valcon/crypto/sha256.hpp"
+#include "valcon/crypto/signatures.hpp"
+
+using namespace valcon;
+using namespace valcon::crypto;
+
+namespace {
+
+std::string hex(const Sha256::Digest& d) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  for (const auto b : d) {
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 0x0f]);
+  }
+  return out;
+}
+
+}  // namespace
+
+TEST(Sha256, FipsVectorEmpty) {
+  EXPECT_EQ(hex(Sha256::hash("", 0)),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, FipsVectorAbc) {
+  EXPECT_EQ(hex(Sha256::hash("abc", 3)),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, FipsVectorTwoBlocks) {
+  const std::string msg =
+      "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq";
+  EXPECT_EQ(hex(Sha256::hash(msg.data(), msg.size())),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 ctx;
+  const std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) ctx.update(chunk.data(), chunk.size());
+  EXPECT_EQ(hex(ctx.digest()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string msg = "partially synchronous byzantine consensus";
+  Sha256 ctx;
+  for (const char c : msg) ctx.update(&c, 1);
+  EXPECT_EQ(ctx.digest(), Sha256::hash(msg.data(), msg.size()));
+}
+
+TEST(Hasher, DomainSeparation) {
+  const Hash a = Hasher("domain-a").add(std::int64_t{42}).finish();
+  const Hash b = Hasher("domain-b").add(std::int64_t{42}).finish();
+  EXPECT_NE(a, b);
+}
+
+TEST(Hasher, LengthPrefixingPreventsConcatenationCollisions) {
+  const Hash a = Hasher("d").add("ab").add("c").finish();
+  const Hash b = Hasher("d").add("a").add("bc").finish();
+  EXPECT_NE(a, b);
+}
+
+TEST(Hasher, Deterministic) {
+  const auto make = [] {
+    return Hasher("d").add(std::int64_t{-7}).add("x").finish();
+  };
+  EXPECT_EQ(make(), make());
+}
+
+TEST(Hash, HexPrefix) {
+  Hash h;
+  h.bytes[0] = 0xab;
+  h.bytes[1] = 0xcd;
+  EXPECT_EQ(h.hex_prefix(4), "abcd");
+}
+
+TEST(Signatures, SignVerifyRoundtrip) {
+  const KeyRegistry keys(4, 3, 99);
+  const Hash digest = Hasher("msg").add("hello").finish();
+  const Signature sig = keys.signer_for(2).sign(digest);
+  EXPECT_EQ(sig.signer, 2);
+  EXPECT_TRUE(keys.verify(sig));
+}
+
+TEST(Signatures, TamperedMacRejected) {
+  const KeyRegistry keys(4, 3, 99);
+  Signature sig = keys.signer_for(1).sign(Hasher("m").add("x").finish());
+  sig.mac ^= 1;
+  EXPECT_FALSE(keys.verify(sig));
+}
+
+TEST(Signatures, WrongSignerClaimRejected) {
+  const KeyRegistry keys(4, 3, 99);
+  Signature sig = keys.signer_for(1).sign(Hasher("m").add("x").finish());
+  sig.signer = 2;  // forged identity: mac no longer matches
+  EXPECT_FALSE(keys.verify(sig));
+}
+
+TEST(Signatures, DifferentSeedsDifferentKeys) {
+  const KeyRegistry keys_a(4, 3, 1);
+  const KeyRegistry keys_b(4, 3, 2);
+  const Hash digest = Hasher("m").add("x").finish();
+  const Signature sig = keys_a.signer_for(0).sign(digest);
+  EXPECT_FALSE(keys_b.verify(sig));
+}
+
+TEST(Threshold, CombineRequiresKDistinctSigners) {
+  const KeyRegistry keys(4, 3, 7);
+  const Hash digest = Hasher("m").add("t").finish();
+  std::vector<Signature> partials;
+  partials.push_back(keys.signer_for(0).sign(digest));
+  partials.push_back(keys.signer_for(1).sign(digest));
+  EXPECT_FALSE(keys.combine(partials).has_value());  // only 2 < k = 3
+  partials.push_back(keys.signer_for(0).sign(digest));
+  EXPECT_FALSE(keys.combine(partials).has_value());  // duplicate signer
+  partials.pop_back();
+  partials.push_back(keys.signer_for(2).sign(digest));
+  const auto tsig = keys.combine(partials);
+  ASSERT_TRUE(tsig.has_value());
+  EXPECT_TRUE(keys.verify(*tsig));
+  EXPECT_EQ(tsig->digest, digest);
+}
+
+TEST(Threshold, MixedDigestsRejected) {
+  const KeyRegistry keys(4, 3, 7);
+  const Hash d1 = Hasher("m").add("a").finish();
+  const Hash d2 = Hasher("m").add("b").finish();
+  std::vector<Signature> partials = {keys.signer_for(0).sign(d1),
+                                     keys.signer_for(1).sign(d1),
+                                     keys.signer_for(2).sign(d2)};
+  EXPECT_FALSE(keys.combine(partials).has_value());
+}
+
+TEST(Threshold, InvalidPartialRejected) {
+  const KeyRegistry keys(4, 3, 7);
+  const Hash digest = Hasher("m").add("t").finish();
+  std::vector<Signature> partials = {keys.signer_for(0).sign(digest),
+                                     keys.signer_for(1).sign(digest),
+                                     keys.signer_for(2).sign(digest)};
+  partials[1].mac ^= 1;
+  EXPECT_FALSE(keys.combine(partials).has_value());
+}
+
+TEST(Threshold, ForgedThresholdSigRejected) {
+  const KeyRegistry keys(4, 3, 7);
+  ThresholdSignature forged;
+  forged.digest = Hasher("m").add("t").finish();
+  forged.mac = 0xdeadbeef;
+  EXPECT_FALSE(keys.verify(forged));
+}

@@ -1,0 +1,181 @@
+// Unit tests: the validity formalism of Section 3.3 — input configurations,
+// the similarity (~) and compatibility (⋄) relations (including the paper's
+// worked examples), and the finite-domain enumeration of I and sim(c).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "valcon/core/similarity.hpp"
+
+using namespace valcon;
+using namespace valcon::core;
+
+namespace {
+
+// The paper's running example (Section 3.4), 0-based: n = 3, t = 1.
+const InputConfig kC = InputConfig::of(3, {{0, 0}, {1, 1}, {2, 0}});
+
+std::uint64_t binomial(int n, int k) {
+  std::uint64_t r = 1;
+  for (int i = 0; i < k; ++i) r = r * static_cast<std::uint64_t>(n - i) /
+                                  static_cast<std::uint64_t>(i + 1);
+  return r;
+}
+
+std::uint64_t ipow(std::uint64_t b, int e) {
+  std::uint64_t r = 1;
+  while (e-- > 0) r *= b;
+  return r;
+}
+
+}  // namespace
+
+TEST(InputConfig, BasicAccessors) {
+  const InputConfig c = InputConfig::of(4, {{0, 5}, {2, 7}, {3, 5}});
+  EXPECT_EQ(c.n(), 4);
+  EXPECT_EQ(c.count(), 3);
+  EXPECT_TRUE(c.participates(0));
+  EXPECT_FALSE(c.participates(1));
+  EXPECT_EQ(c.at(2), std::optional<Value>(7));
+  EXPECT_EQ(c.at(1), std::nullopt);
+  EXPECT_EQ(c.processes(), (std::vector<ProcessId>{0, 2, 3}));
+  EXPECT_EQ(c.proposals(), (std::vector<Value>{5, 7, 5}));
+  EXPECT_EQ(c.sorted_proposals(), (std::vector<Value>{5, 5, 7}));
+}
+
+TEST(InputConfig, ValidForRequiresBetweenNMinusTAndNPairs) {
+  const InputConfig c3 = InputConfig::of(4, {{0, 1}, {1, 1}, {2, 1}});
+  EXPECT_TRUE(c3.valid_for(4, 1));
+  const InputConfig c2 = InputConfig::of(4, {{0, 1}, {1, 1}});
+  EXPECT_FALSE(c2.valid_for(4, 1));
+  EXPECT_TRUE(c2.valid_for(4, 2));
+  EXPECT_FALSE(c3.valid_for(5, 1));  // wrong n
+}
+
+TEST(InputConfig, Unanimity) {
+  Value v = -1;
+  EXPECT_TRUE(InputConfig::of(3, {{0, 4}, {2, 4}}).unanimous(&v));
+  EXPECT_EQ(v, 4);
+  EXPECT_FALSE(InputConfig::of(3, {{0, 4}, {2, 5}}).unanimous());
+  EXPECT_FALSE(InputConfig(3).unanimous());  // empty: no unanimous value
+}
+
+TEST(InputConfig, SerializeRoundtrip) {
+  const InputConfig c = InputConfig::of(5, {{0, -9}, {1, 0}, {4, 1234567}});
+  const auto back = InputConfig::deserialize(c.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, c);
+}
+
+TEST(InputConfig, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(InputConfig::deserialize({}).has_value());
+  EXPECT_FALSE(InputConfig::deserialize({4, 1, 2}).has_value());
+}
+
+TEST(InputConfig, DigestDistinguishesConfigs) {
+  std::set<std::string> digests;
+  for_each_config(3, {0, 1}, 2, 3, [&](const InputConfig& c) {
+    digests.insert(c.digest().hex_prefix(32));
+    return true;
+  });
+  // 3*4 + 8 = 20 configurations, all with distinct digests.
+  EXPECT_EQ(digests.size(), 20u);
+}
+
+TEST(Similarity, PaperExampleSection34) {
+  // c = ((P1,0),(P2,1),(P3,0)) is similar to ((P1,0),(P3,0)) but not to
+  // ((P1,0),(P2,0)).
+  EXPECT_TRUE(similar(kC, InputConfig::of(3, {{0, 0}, {2, 0}})));
+  EXPECT_FALSE(similar(kC, InputConfig::of(3, {{0, 0}, {1, 0}})));
+}
+
+TEST(Similarity, IntroExample) {
+  // From Section 1: ((P1,0),(P2,1)) ~ ((P1,0),(P3,0)), but not
+  // ((P1,0),(P2,0)). (n = 3, t = 1.)
+  const InputConfig c = InputConfig::of(3, {{0, 0}, {1, 1}});
+  EXPECT_TRUE(similar(c, InputConfig::of(3, {{0, 0}, {2, 0}})));
+  EXPECT_FALSE(similar(c, InputConfig::of(3, {{0, 0}, {1, 0}})));
+}
+
+TEST(Similarity, ReflexiveAndSymmetric) {
+  for_each_config(3, {0, 1}, 2, 3, [&](const InputConfig& a) {
+    EXPECT_TRUE(similar(a, a));
+    for_each_config(3, {0, 1}, 2, 3, [&](const InputConfig& b) {
+      EXPECT_EQ(similar(a, b), similar(b, a));
+      return true;
+    });
+    return true;
+  });
+}
+
+TEST(Similarity, DisjointConfigsNotSimilar) {
+  // n = 4, t = 2: configurations of size 2 can be disjoint.
+  const InputConfig a = InputConfig::of(4, {{0, 1}, {1, 1}});
+  const InputConfig b = InputConfig::of(4, {{2, 1}, {3, 1}});
+  EXPECT_FALSE(similar(a, b));
+}
+
+TEST(Compatibility, PaperExampleSection41) {
+  // n = 3, t = 1: ((P1,0),(P2,0)) ⋄ ((P1,1),(P3,1)), but not
+  // ((P1,1),(P2,1),(P3,1)).
+  const InputConfig c = InputConfig::of(3, {{0, 0}, {1, 0}});
+  EXPECT_TRUE(compatible(c, InputConfig::of(3, {{0, 1}, {2, 1}}), 1));
+  EXPECT_FALSE(compatible(c, InputConfig::of(3, {{0, 1}, {1, 1}, {2, 1}}), 1));
+}
+
+TEST(Compatibility, IrreflexiveAndSymmetric) {
+  for_each_config(3, {0, 1}, 2, 3, [&](const InputConfig& a) {
+    EXPECT_FALSE(compatible(a, a, 1));
+    for_each_config(3, {0, 1}, 2, 3, [&](const InputConfig& b) {
+      EXPECT_EQ(compatible(a, b, 1), compatible(b, a, 1));
+      return true;
+    });
+    return true;
+  });
+}
+
+TEST(Enumeration, CountsMatchClosedForm) {
+  // |I| = sum_{x=n-t}^{n} C(n,x) * |V|^x.
+  const int n = 4;
+  const int t = 1;
+  const std::vector<Value> domain = {0, 1, 2};
+  std::uint64_t expected = 0;
+  for (int x = n - t; x <= n; ++x) {
+    expected += binomial(n, x) * ipow(domain.size(), x);
+  }
+  EXPECT_EQ(enumerate_configs(n, t, domain).size(), expected);
+}
+
+TEST(Enumeration, ExactCount) {
+  EXPECT_EQ(enumerate_configs_exact(4, 3, {0, 1}).size(),
+            binomial(4, 3) * ipow(2, 3));
+}
+
+TEST(Enumeration, SimMatchesPairwiseFilter) {
+  const std::vector<Value> domain = {0, 1};
+  const int t = 1;
+  for_each_config(4, domain, 3, 3, [&](const InputConfig& c) {
+    const auto from_fast = enumerate_similar(c, t, domain);
+    std::set<InputConfig> fast_set(from_fast.begin(), from_fast.end());
+    std::set<InputConfig> slow_set;
+    for (const auto& cand : enumerate_configs(4, t, domain)) {
+      if (similar(c, cand)) slow_set.insert(cand);
+    }
+    EXPECT_EQ(fast_set, slow_set) << "at c = " << c.to_string();
+    return true;
+  });
+}
+
+TEST(Enumeration, SimIncludesSelf) {
+  const InputConfig c = InputConfig::of(4, {{0, 1}, {1, 0}, {3, 1}});
+  const auto sims = enumerate_similar(c, 1, {0, 1});
+  EXPECT_NE(std::find(sims.begin(), sims.end(), c), sims.end());
+}
+
+TEST(Enumeration, EveryFullConfigSimilarToEveryOverlappingRestriction) {
+  // A full configuration c_n and any c with matching proposals on π(c)
+  // are similar (used in Lemma 4's case analysis).
+  const InputConfig full = InputConfig::of(4, {{0, 1}, {1, 0}, {2, 1}, {3, 0}});
+  const InputConfig restricted = InputConfig::of(4, {{0, 1}, {1, 0}, {2, 1}});
+  EXPECT_TRUE(similar(full, restricted));
+}

@@ -1,0 +1,246 @@
+// The theory core, checked exhaustively on small instances:
+//
+//  * Theorem 3 / Definition 2 — closed-form Λ functions agree with the
+//    generic ⋂_{c'~c} val(c') enumeration (soundness of Universal's Λ);
+//  * Theorem 1 / 2 — for n <= 3t, solvable <=> trivial (with a computable
+//    always_admissible witness);
+//  * the solvability frontier of Correct-Proposal validity (a pigeonhole
+//    consequence of C_S that our classifier must discover);
+//  * classification sanity over randomly sampled table-based properties
+//    (the "Figure 1 landscape": trivial ⊂ C_S).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "valcon/core/classification.hpp"
+#include "valcon/sim/rng.hpp"
+
+using namespace valcon;
+using namespace valcon::core;
+
+namespace {
+
+/// Checks that the property's closed-form Λ lands inside the enumerated
+/// intersection for every c in I_{n-t}.
+void expect_closed_form_sound(const ValidityProperty& val, int n, int t,
+                              const std::vector<Value>& domain) {
+  for_each_config(n, domain, n - t, n - t, [&](const InputConfig& vec) {
+    const auto closed = val.closed_form_lambda(vec, n, t);
+    EXPECT_TRUE(closed.has_value())
+        << val.name() << ": no closed form at " << vec.to_string();
+    if (!closed.has_value()) return true;
+    bool admissible_everywhere = true;
+    for_each_similar(vec, t, domain, [&](const InputConfig& sim_c) {
+      if (!val.admissible(sim_c, *closed)) {
+        admissible_everywhere = false;
+        return false;
+      }
+      return true;
+    });
+    EXPECT_TRUE(admissible_everywhere)
+        << val.name() << ": Λ(" << vec.to_string() << ") = " << *closed
+        << " is not in the similar-admissible intersection";
+    return true;
+  });
+}
+
+}  // namespace
+
+// ------------------------- Λ soundness (Definition 2, used by Theorem 5)
+
+TEST(Lambda, StrongClosedFormSound_N4T1) {
+  expect_closed_form_sound(StrongValidity(), 4, 1, {0, 1, 2});
+}
+
+TEST(Lambda, StrongClosedFormSound_N5T1) {
+  expect_closed_form_sound(StrongValidity(), 5, 1, {0, 1});
+}
+
+TEST(Lambda, WeakClosedFormSound_N4T1) {
+  expect_closed_form_sound(WeakValidity(), 4, 1, {0, 1, 2});
+}
+
+TEST(Lambda, ConvexHullClosedFormSound_N4T1) {
+  expect_closed_form_sound(ConvexHullValidity(), 4, 1, {0, 1, 2});
+}
+
+TEST(Lambda, MedianClosedFormSound_N4T1) {
+  expect_closed_form_sound(MedianValidity(4, 1), 4, 1, {0, 1, 2});
+}
+
+TEST(Lambda, IntervalClosedFormSound_N5T1) {
+  // k must be in [t+1, n-2t] = [2, 3].
+  expect_closed_form_sound(IntervalValidity(2, 1), 5, 1, {0, 1});
+  expect_closed_form_sound(IntervalValidity(3, 1), 5, 1, {0, 1});
+}
+
+TEST(Lambda, CorrectProposalClosedFormSoundWithSmallDomain) {
+  // n - t = 3 slots over |V| = 2 values: pigeonhole guarantees a value with
+  // multiplicity >= t+1 = 2, so Λ exists everywhere and must be sound.
+  expect_closed_form_sound(CorrectProposalValidity(), 4, 1, {0, 1});
+}
+
+TEST(Lambda, StrongForcedValueWithLargeMultiplicity) {
+  // n = 4, t = 1: an entry with multiplicity >= n-2t = 2 forces Λ.
+  const StrongValidity val;
+  const InputConfig vec = InputConfig::of(4, {{0, 7}, {1, 7}, {2, 3}});
+  EXPECT_EQ(val.closed_form_lambda(vec, 4, 1), std::optional<Value>(7));
+}
+
+TEST(Lambda, GenericMatchesClosedFormWhenBothDefined) {
+  const std::vector<Value> domain = {0, 1, 2};
+  const StrongValidity val;
+  for_each_config(4, domain, 3, 3, [&](const InputConfig& vec) {
+    const auto generic = generic_lambda(val, vec, 1, domain, domain);
+    const auto closed = val.closed_form_lambda(vec, 4, 1);
+    EXPECT_TRUE(generic.has_value());
+    EXPECT_TRUE(closed.has_value());
+    if (!generic.has_value() || !closed.has_value()) return false;
+    // Both must be members of the intersection; when the intersection is a
+    // singleton they must agree exactly.
+    const auto intersection =
+        similar_admissible_intersection(val, vec, 1, domain, domain);
+    EXPECT_NE(std::find(intersection.begin(), intersection.end(), *generic),
+              intersection.end());
+    EXPECT_NE(std::find(intersection.begin(), intersection.end(), *closed),
+              intersection.end());
+    if (intersection.size() == 1) {
+      EXPECT_EQ(*generic, *closed);
+    }
+    return true;
+  });
+}
+
+TEST(Lambda, CorrectProposalUnsolvableInstanceHasNoLambda) {
+  // vec = (0, 1, 2) with n = 4, t = 1: every value has multiplicity 1 < t+1,
+  // so ⋂ proposals over sim(vec) is empty — C_S fails here.
+  const CorrectProposalValidity val;
+  const InputConfig vec = InputConfig::of(4, {{0, 0}, {1, 1}, {2, 2}});
+  EXPECT_FALSE(val.closed_form_lambda(vec, 4, 1).has_value());
+  const std::vector<Value> domain = {0, 1, 2};
+  EXPECT_FALSE(generic_lambda(val, vec, 1, domain, domain).has_value());
+}
+
+TEST(Lambda, MakeLambdaThrowsOnUnsolvableInstance) {
+  const CorrectProposalValidity val;
+  const auto lambda = make_lambda(val, 4, 1, {0, 1, 2}, {0, 1, 2});
+  EXPECT_THROW(lambda(InputConfig::of(4, {{0, 0}, {1, 1}, {2, 2}})),
+               std::invalid_argument);
+}
+
+// --------------------------------------- classification (Theorems 1-3, 5)
+
+TEST(Classification, ConstantIsTrivialAndSolvableEverywhere) {
+  const ConstantValidity val(1);
+  for (const auto& [n, t] : std::vector<std::pair<int, int>>{
+           {3, 1}, {4, 1}, {4, 2}, {5, 2}, {6, 2}}) {
+    const auto result = classify(val, n, t, {0, 1}, {0, 1});
+    EXPECT_TRUE(result.trivial) << "n=" << n << " t=" << t;
+    EXPECT_TRUE(result.solvable) << "n=" << n << " t=" << t;
+    EXPECT_EQ(result.always_admissible, std::optional<Value>(1));
+  }
+}
+
+TEST(Classification, StrongSolvableIffNGreaterThan3T) {
+  const StrongValidity val;
+  struct Case {
+    int n, t;
+    bool solvable;
+  };
+  for (const Case c : {Case{3, 1, false}, Case{4, 1, true}, Case{6, 2, false},
+                       Case{7, 2, true}}) {
+    const auto result = classify(val, c.n, c.t, {0, 1}, {0, 1});
+    EXPECT_FALSE(result.trivial) << "n=" << c.n;
+    EXPECT_EQ(result.solvable, c.solvable) << "n=" << c.n << " t=" << c.t;
+    // Unlike Weak Validity (which satisfies C_S everywhere yet is
+    // unsolvable at n <= 3t), Strong Validity fails C_S once n <= 3t: a
+    // vector holding both values t times admits two conflicting unanimous
+    // similar extensions, so the intersection is empty.
+    EXPECT_EQ(result.similarity_condition, c.n > 3 * c.t)
+        << "n=" << c.n << " t=" << c.t;
+  }
+}
+
+TEST(Classification, WeakSatisfiesCsButUnsolvableAt3T) {
+  // The paper's example after Theorem 3: Weak Validity satisfies C_S yet is
+  // unsolvable with n <= 3t.
+  const WeakValidity val;
+  const auto result = classify(val, 3, 1, {0, 1}, {0, 1});
+  EXPECT_TRUE(result.similarity_condition);
+  EXPECT_FALSE(result.trivial);
+  EXPECT_FALSE(result.solvable);
+}
+
+TEST(Classification, ConvexHullSolvableIffNGreaterThan3T) {
+  const ConvexHullValidity val;
+  EXPECT_FALSE(classify(val, 3, 1, {0, 1}, {0, 1}).solvable);
+  EXPECT_TRUE(classify(val, 4, 1, {0, 1}, {0, 1}).solvable);
+}
+
+TEST(Classification, CorrectProposalFrontierByPigeonhole) {
+  // C_S for Correct-Proposal validity over domain V holds iff every
+  // (n-t)-multiset over V has a value with multiplicity >= t+1, i.e.
+  // n - t > (|V|)(t) <=> n > |V| t + t. Frontier checks:
+  const CorrectProposalValidity val;
+  // n = 4, t = 1, |V| = 2: 3 slots, 2 values -> some value twice: solvable.
+  EXPECT_TRUE(classify(val, 4, 1, {0, 1}, {0, 1}).solvable);
+  // n = 4, t = 1, |V| = 3: vec (0,1,2) kills C_S: unsolvable.
+  EXPECT_FALSE(classify(val, 4, 1, {0, 1, 2}, {0, 1, 2}).solvable);
+  const auto result = classify(val, 4, 1, {0, 1, 2}, {0, 1, 2});
+  ASSERT_TRUE(result.cs_counterexample.has_value());
+  // The counterexample must genuinely have an empty intersection.
+  EXPECT_FALSE(generic_lambda(val, *result.cs_counterexample, 1, {0, 1, 2},
+                              {0, 1, 2})
+                   .has_value());
+  // n = 7, t = 2, |V| = 2: 5 slots, 2 values -> some value >= 3 = t+1.
+  EXPECT_TRUE(classify(val, 7, 2, {0, 1}, {0, 1}).solvable);
+}
+
+TEST(Classification, TrivialImpliesSimilarityCondition) {
+  // Theorem 3 holds for every solvable property; in particular a trivial
+  // property always satisfies C_S (the always-admissible value is a valid
+  // Λ output everywhere). Verified over sampled random table properties.
+  sim::Rng rng(2024);
+  const std::vector<Value> domain = {0, 1};
+  const int n = 3;
+  const int t = 1;
+  const auto configs = enumerate_configs(n, t, domain);
+  for (int trial = 0; trial < 40; ++trial) {
+    TableValidity::Table table;
+    for (const auto& c : configs) {
+      std::set<Value> admissible;
+      for (const Value v : domain) {
+        if (rng.next_below(2) == 0) admissible.insert(v);
+      }
+      if (admissible.empty()) admissible.insert(0);
+      table[c] = admissible;
+    }
+    const TableValidity val(std::move(table));
+    const auto result = classify(val, n, t, domain, domain);
+    if (result.trivial) {
+      EXPECT_TRUE(result.similarity_condition)
+          << "trivial property violating C_S found (impossible)";
+    }
+    // With n = 3t, the paper's characterization: solvable <=> trivial.
+    EXPECT_EQ(result.solvable, result.trivial);
+  }
+}
+
+TEST(Classification, AlwaysAdmissibleWitnessIsSound) {
+  // Theorem 2's finite procedure returns a genuine witness.
+  const ConstantValidity val(1);
+  const auto witness = always_admissible_value(val, 4, 1, {0, 1}, {0, 1});
+  ASSERT_TRUE(witness.has_value());
+  for_each_config(4, {0, 1}, 3, 4, [&](const InputConfig& c) {
+    EXPECT_TRUE(val.admissible(c, *witness));
+    return true;
+  });
+}
+
+TEST(Classification, SummaryMentionsKeyFacts) {
+  const StrongValidity val;
+  const auto result = classify(val, 4, 1, {0, 1}, {0, 1});
+  const std::string summary = result.summary();
+  EXPECT_NE(summary.find("non-trivial"), std::string::npos);
+  EXPECT_NE(summary.find("solvable"), std::string::npos);
+}

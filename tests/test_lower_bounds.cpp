@@ -1,0 +1,68 @@
+// The paper's adversarial constructions, executed as tests:
+//
+//  * Theorem 1 / Lemma 2 — the partition attack violates Agreement at
+//    n = 3t (quorum-based consensus is doomed there) and fails to at
+//    n = 3t + 1;
+//  * Theorem 4 — in E_base, Universal's correct processes always send more
+//    than (ceil(t/2))^2 messages, and the protocol stays safe and live
+//    under the ignore-first-⌈t/2⌉-messages adversary.
+#include <gtest/gtest.h>
+
+#include "valcon/lb/dolev_reischuk.hpp"
+#include "valcon/lb/partition.hpp"
+
+using namespace valcon;
+
+TEST(PartitionAttack, ViolatesAgreementAtN3T) {
+  for (const int t : {1, 2}) {
+    const auto outcome = lb::run_partition_experiment(3 * t, t, 1);
+    EXPECT_TRUE(outcome.agreement_violated) << "t=" << t;
+    ASSERT_TRUE(outcome.side_a_value.has_value());
+    ASSERT_TRUE(outcome.side_c_value.has_value());
+    EXPECT_EQ(*outcome.side_a_value, 0);
+    EXPECT_EQ(*outcome.side_c_value, 1);
+    // Every correct process decided (both sides mustered quorums).
+    EXPECT_EQ(outcome.decisions.size(), static_cast<std::size_t>(2 * t));
+  }
+}
+
+TEST(PartitionAttack, NoViolationAtN3TPlus1) {
+  for (const int t : {1, 2}) {
+    const auto outcome = lb::run_partition_experiment(3 * t + 1, t, 1);
+    EXPECT_FALSE(outcome.agreement_violated) << "t=" << t;
+    // After GST the C side adopts the A side's decision.
+    ASSERT_TRUE(outcome.side_a_value.has_value());
+    if (outcome.side_c_value.has_value()) {
+      EXPECT_EQ(*outcome.side_c_value, *outcome.side_a_value);
+    }
+  }
+}
+
+TEST(PartitionAttack, SeedIndependence) {
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    EXPECT_TRUE(lb::run_partition_experiment(3, 1, seed).agreement_violated);
+    EXPECT_FALSE(
+        lb::run_partition_experiment(4, 1, seed).agreement_violated);
+  }
+}
+
+TEST(DolevReischuk, EbaseRespectsQuadraticBound) {
+  for (const auto& [n, t] :
+       std::vector<std::pair<int, int>>{{4, 1}, {7, 2}, {10, 3}, {13, 4}}) {
+    const auto outcome =
+        lb::run_ebase_experiment(n, t, harness::VcKind::kAuthenticated, 1);
+    EXPECT_TRUE(outcome.bound_respected)
+        << "n=" << n << " t=" << t << ": " << outcome.correct_messages
+        << " <= " << outcome.bound;
+    EXPECT_TRUE(outcome.all_correct_decided) << "n=" << n;
+    EXPECT_TRUE(outcome.agreement) << "n=" << n;
+  }
+}
+
+TEST(DolevReischuk, EbaseNonAuthenticatedAlsoRespectsBound) {
+  const auto outcome =
+      lb::run_ebase_experiment(4, 1, harness::VcKind::kNonAuthenticated, 1);
+  EXPECT_TRUE(outcome.bound_respected);
+  EXPECT_TRUE(outcome.all_correct_decided);
+  EXPECT_TRUE(outcome.agreement);
+}

@@ -1,0 +1,247 @@
+// Unit + property tests: GF(2^8), the Reed-Solomon codec (including
+// Berlekamp-Welch error correction) and the ADD protocol (Appendix B.3's
+// data-dissemination substrate), with Byzantine share corruption.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "valcon/consensus/add.hpp"
+#include "valcon/consensus/gf256.hpp"
+#include "valcon/consensus/reed_solomon.hpp"
+#include "valcon/sim/adversary.hpp"
+#include "valcon/sim/rng.hpp"
+#include "valcon/sim/simulator.hpp"
+
+using namespace valcon;
+using namespace valcon::sim;
+using namespace valcon::consensus;
+
+// ------------------------------------------------------------------ GF
+
+TEST(Gf256, FieldAxiomsSpotChecks) {
+  // 3 * 7 = 9 under the AES polynomial; every nonzero element inverts.
+  EXPECT_EQ(gf256::mul(3, 7), 9);
+  for (int a = 1; a < 256; ++a) {
+    EXPECT_EQ(gf256::mul(static_cast<std::uint8_t>(a),
+                         gf256::inv(static_cast<std::uint8_t>(a))),
+              1);
+  }
+}
+
+TEST(Gf256, MultiplicationCommutesAndDistributes) {
+  Rng rng(3);
+  for (int i = 0; i < 2000; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng.next_below(256));
+    const auto b = static_cast<std::uint8_t>(rng.next_below(256));
+    const auto c = static_cast<std::uint8_t>(rng.next_below(256));
+    EXPECT_EQ(gf256::mul(a, b), gf256::mul(b, a));
+    EXPECT_EQ(gf256::mul(a, gf256::add(b, c)),
+              gf256::add(gf256::mul(a, b), gf256::mul(a, c)));
+  }
+}
+
+TEST(Gf256, PowMatchesRepeatedMul) {
+  std::uint8_t acc = 1;
+  for (unsigned e = 0; e < 20; ++e) {
+    EXPECT_EQ(gf256::pow(5, e), acc);
+    acc = gf256::mul(acc, 5);
+  }
+}
+
+// ------------------------------------------------------------------- RS
+
+namespace {
+
+std::vector<std::uint8_t> random_bytes(Rng& rng, std::size_t len) {
+  std::vector<std::uint8_t> out(len);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next_below(256));
+  return out;
+}
+
+}  // namespace
+
+TEST(ReedSolomon, RoundtripNoErrors) {
+  Rng rng(7);
+  for (const auto& [n, k] : std::vector<std::pair<int, int>>{
+           {4, 2}, {7, 3}, {10, 4}, {31, 11}}) {
+    for (const std::size_t len : {0u, 1u, 5u, 64u, 200u}) {
+      const ReedSolomon rs(n, k);
+      const auto data = random_bytes(rng, len);
+      const auto shares = rs.encode(data);
+      ASSERT_EQ(shares.size(), static_cast<std::size_t>(n));
+      std::vector<std::optional<std::vector<std::uint8_t>>> received(
+          static_cast<std::size_t>(n));
+      for (int j = 0; j < n; ++j) received[static_cast<std::size_t>(j)] = shares[static_cast<std::size_t>(j)];
+      const auto decoded = rs.decode(received, 0);
+      ASSERT_TRUE(decoded.has_value()) << "n=" << n << " k=" << k;
+      EXPECT_EQ(*decoded, data);
+    }
+  }
+}
+
+TEST(ReedSolomon, DecodesFromExactlyKShares) {
+  Rng rng(11);
+  const ReedSolomon rs(7, 3);
+  const auto data = random_bytes(rng, 40);
+  const auto shares = rs.encode(data);
+  std::vector<std::optional<std::vector<std::uint8_t>>> received(7);
+  received[1] = shares[1];
+  received[4] = shares[4];
+  received[6] = shares[6];
+  const auto decoded = rs.decode(received, 0);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, data);
+}
+
+TEST(ReedSolomon, FailsBelowKShares) {
+  const ReedSolomon rs(7, 3);
+  const auto shares = rs.encode({1, 2, 3, 4});
+  std::vector<std::optional<std::vector<std::uint8_t>>> received(7);
+  received[0] = shares[0];
+  received[5] = shares[5];
+  EXPECT_FALSE(rs.decode(received, 0).has_value());
+}
+
+// Property sweep: correct up to floor((m - k) / 2) corrupted shares.
+class RsErrorSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(RsErrorSweep, CorrectsErrors) {
+  const auto [n, k, errors] = GetParam();
+  if (2 * errors > n - k) GTEST_SKIP() << "beyond correction radius";
+  Rng rng(static_cast<std::uint64_t>(n * 1000 + k * 10 + errors));
+  const ReedSolomon rs(n, k);
+  const auto data = random_bytes(rng, 50);
+  const auto shares = rs.encode(data);
+  std::vector<std::optional<std::vector<std::uint8_t>>> received(
+      static_cast<std::size_t>(n));
+  for (int j = 0; j < n; ++j) received[static_cast<std::size_t>(j)] = shares[static_cast<std::size_t>(j)];
+  // Corrupt `errors` distinct shares (every byte, as a Byzantine would).
+  for (int e = 0; e < errors; ++e) {
+    for (auto& byte : *received[static_cast<std::size_t>(e)]) byte ^= 0xA5;
+  }
+  const auto decoded = rs.decode(received, errors);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RsErrorSweep,
+    ::testing::Combine(::testing::Values(7, 10, 13), ::testing::Values(3, 4),
+                       ::testing::Values(0, 1, 2, 3)));
+
+TEST(ReedSolomon, RejectsWrongLengthShares) {
+  const ReedSolomon rs(4, 2);
+  const auto shares = rs.encode({9, 9, 9});
+  std::vector<std::optional<std::vector<std::uint8_t>>> received(4);
+  received[0] = shares[0];
+  received[1] = shares[1];
+  received[2] = std::vector<std::uint8_t>{1};  // malformed: skipped
+  const auto decoded = rs.decode(received, 0);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, (std::vector<std::uint8_t>{9, 9, 9}));
+}
+
+// ------------------------------------------------------------------ ADD
+
+namespace {
+
+class AddHost final : public Mux {
+ public:
+  AddHost(std::optional<std::vector<std::uint8_t>> input,
+          std::map<ProcessId, std::vector<std::uint8_t>>* outputs)
+      : input_(std::move(input)), outputs_(outputs) {
+    add_ = &make_child<Add>(
+        [this](Context& ctx, const std::vector<std::uint8_t>& m) {
+          outputs_->emplace(ctx.id(), m);
+        });
+  }
+
+ protected:
+  void own_start(Context&) override {
+    add_->input(child_context(0), input_);
+  }
+
+ private:
+  std::optional<std::vector<std::uint8_t>> input_;
+  std::map<ProcessId, std::vector<std::uint8_t>>* outputs_;
+  Add* add_;
+};
+
+SimConfig add_cfg(int n, int t, std::uint64_t seed) {
+  SimConfig c;
+  c.n = n;
+  c.t = t;
+  c.seed = seed;
+  return c;
+}
+
+}  // namespace
+
+TEST(Add, EveryoneOutputsM_WithTPlus1Holders) {
+  const std::vector<std::uint8_t> blob = {1, 2, 3, 4, 5, 6, 7};
+  for (const auto& [n, t] : std::vector<std::pair<int, int>>{{4, 1}, {7, 2}}) {
+    Simulator sim(add_cfg(n, t, 1));
+    std::map<ProcessId, std::vector<std::uint8_t>> outputs;
+    for (ProcessId p = 0; p < n; ++p) {
+      // Exactly t+1 holders; the rest input ⊥.
+      std::optional<std::vector<std::uint8_t>> input;
+      if (p <= t) input = blob;
+      sim.add_process(p, std::make_unique<ComponentHost>(
+                             std::make_unique<AddHost>(input, &outputs)));
+    }
+    sim.run(1e5);
+    ASSERT_EQ(outputs.size(), static_cast<std::size_t>(n)) << "n=" << n;
+    for (const auto& [pid, m] : outputs) EXPECT_EQ(m, blob);
+  }
+}
+
+TEST(Add, ToleratesSilentFaulty) {
+  const std::vector<std::uint8_t> blob = {42, 43, 44};
+  Simulator sim(add_cfg(7, 2, 2));
+  std::map<ProcessId, std::vector<std::uint8_t>> outputs;
+  for (ProcessId p = 0; p < 7; ++p) {
+    if (p >= 5) {
+      sim.mark_faulty(p);
+      sim.add_process(p, std::make_unique<SilentProcess>());
+      continue;
+    }
+    std::optional<std::vector<std::uint8_t>> input;
+    if (p < 3) input = blob;  // t+1 = 3 holders
+    sim.add_process(p, std::make_unique<ComponentHost>(
+                           std::make_unique<AddHost>(input, &outputs)));
+  }
+  sim.run(1e5);
+  ASSERT_EQ(outputs.size(), 5u);
+  for (const auto& [pid, m] : outputs) EXPECT_EQ(m, blob);
+}
+
+TEST(Add, ByzantineGarbageSharesCannotCorruptOutput) {
+  // Faulty processes participate but feed a *different* blob: their
+  // disperse/reconstruct shares are inconsistent garbage from the point of
+  // view of the true blob. Correct processes must still output the true M
+  // (online error correction handles up to t wrong shares).
+  const std::vector<std::uint8_t> blob = {10, 20, 30, 40, 50};
+  const std::vector<std::uint8_t> junk = {99, 98, 97, 96, 95};
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Simulator sim(add_cfg(7, 2, seed));
+    std::map<ProcessId, std::vector<std::uint8_t>> outputs;
+    for (ProcessId p = 0; p < 7; ++p) {
+      const bool faulty = p >= 5;
+      if (faulty) sim.mark_faulty(p);
+      std::optional<std::vector<std::uint8_t>> input;
+      if (faulty) {
+        input = junk;  // equivocating holder
+      } else if (p < 3) {
+        input = blob;  // t+1 = 3 correct holders
+      }
+      sim.add_process(p, std::make_unique<ComponentHost>(
+                             std::make_unique<AddHost>(input, &outputs)));
+    }
+    sim.run(1e5);
+    for (ProcessId p = 0; p < 5; ++p) {
+      ASSERT_TRUE(outputs.count(p)) << "P" << p << " seed " << seed;
+      EXPECT_EQ(outputs.at(p), blob) << "P" << p << " seed " << seed;
+    }
+  }
+}

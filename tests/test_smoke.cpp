@@ -1,0 +1,61 @@
+#include <gtest/gtest.h>
+
+#include "valcon/harness/scenario.hpp"
+
+using namespace valcon;
+
+TEST(Smoke, AuthUniversalAllCorrect) {
+  harness::ScenarioConfig cfg;
+  cfg.n = 4;
+  cfg.t = 1;
+  cfg.proposals = {5, 5, 5, 5};
+  cfg.vc = harness::VcKind::kAuthenticated;
+  const core::StrongValidity validity;
+  const auto result =
+      harness::run_universal(cfg, core::make_lambda(validity, cfg.n, cfg.t));
+  EXPECT_TRUE(result.all_correct_decided(cfg));
+  EXPECT_TRUE(result.agreement());
+  EXPECT_EQ(result.common_decision(), 5);
+}
+
+TEST(Smoke, NonAuthUniversalAllCorrect) {
+  harness::ScenarioConfig cfg;
+  cfg.n = 4;
+  cfg.t = 1;
+  cfg.proposals = {3, 3, 3, 3};
+  cfg.vc = harness::VcKind::kNonAuthenticated;
+  const core::StrongValidity validity;
+  const auto result =
+      harness::run_universal(cfg, core::make_lambda(validity, cfg.n, cfg.t));
+  EXPECT_TRUE(result.all_correct_decided(cfg));
+  EXPECT_TRUE(result.agreement());
+  EXPECT_EQ(result.common_decision(), 3);
+}
+
+TEST(Smoke, FastUniversalAllCorrect) {
+  harness::ScenarioConfig cfg;
+  cfg.n = 4;
+  cfg.t = 1;
+  cfg.proposals = {9, 9, 9, 9};
+  cfg.vc = harness::VcKind::kFast;
+  const core::StrongValidity validity;
+  const auto result =
+      harness::run_universal(cfg, core::make_lambda(validity, cfg.n, cfg.t));
+  EXPECT_TRUE(result.all_correct_decided(cfg));
+  EXPECT_TRUE(result.agreement());
+  EXPECT_EQ(result.common_decision(), 9);
+}
+
+TEST(Smoke, AuthUniversalWithSilentFault) {
+  harness::ScenarioConfig cfg;
+  cfg.n = 4;
+  cfg.t = 1;
+  cfg.proposals = {5, 5, 5, 5};
+  cfg.faults[0] = {harness::FaultKind::kSilent, 0.0};  // the view-0 leader
+  const core::StrongValidity validity;
+  const auto result =
+      harness::run_universal(cfg, core::make_lambda(validity, cfg.n, cfg.t));
+  EXPECT_TRUE(result.all_correct_decided(cfg));
+  EXPECT_TRUE(result.agreement());
+  EXPECT_EQ(result.common_decision(), 5);
+}

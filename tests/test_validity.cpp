@@ -1,0 +1,155 @@
+// Unit tests: the validity-property zoo (Section 3.3's examples and §2's
+// related-work properties in our formalism).
+#include <gtest/gtest.h>
+
+#include "valcon/core/similarity.hpp"
+#include "valcon/core/validity.hpp"
+
+using namespace valcon;
+using namespace valcon::core;
+
+TEST(StrongValidity, UnanimousPinsDecision) {
+  const StrongValidity val;
+  const InputConfig unanimous = InputConfig::of(4, {{0, 3}, {1, 3}, {2, 3}});
+  EXPECT_TRUE(val.admissible(unanimous, 3));
+  EXPECT_FALSE(val.admissible(unanimous, 4));
+}
+
+TEST(StrongValidity, MixedProposalsAllowAnything) {
+  const StrongValidity val;
+  const InputConfig mixed = InputConfig::of(4, {{0, 3}, {1, 5}, {2, 3}});
+  EXPECT_TRUE(val.admissible(mixed, 3));
+  EXPECT_TRUE(val.admissible(mixed, 99));
+}
+
+TEST(WeakValidity, OnlyFullUnanimousConfigsConstrain) {
+  const WeakValidity val;
+  const InputConfig full_unanimous =
+      InputConfig::of(3, {{0, 7}, {1, 7}, {2, 7}});
+  EXPECT_TRUE(val.admissible(full_unanimous, 7));
+  EXPECT_FALSE(val.admissible(full_unanimous, 8));
+  // Same proposals but one process missing: everything admissible.
+  const InputConfig partial = InputConfig::of(3, {{0, 7}, {1, 7}});
+  EXPECT_TRUE(val.admissible(partial, 8));
+}
+
+TEST(WeakValidity, WeakerThanStrong) {
+  // Every weak-validity constraint is also a strong-validity constraint.
+  const WeakValidity weak;
+  const StrongValidity strong;
+  for (const auto& c :
+       {InputConfig::of(3, {{0, 1}, {1, 1}, {2, 1}}),
+        InputConfig::of(3, {{0, 1}, {1, 1}}),
+        InputConfig::of(3, {{0, 1}, {1, 2}, {2, 1}})}) {
+    for (Value v = 0; v <= 2; ++v) {
+      if (strong.admissible(c, v)) {
+        EXPECT_TRUE(weak.admissible(c, v))
+            << c.to_string() << " v=" << v;
+      }
+    }
+  }
+}
+
+TEST(CorrectProposalValidity, OnlyProposedValuesAdmissible) {
+  const CorrectProposalValidity val;
+  const InputConfig c = InputConfig::of(4, {{0, 3}, {1, 5}, {2, 3}});
+  EXPECT_TRUE(val.admissible(c, 3));
+  EXPECT_TRUE(val.admissible(c, 5));
+  EXPECT_FALSE(val.admissible(c, 4));
+}
+
+TEST(IntervalValidity, BoundsAreOrderStatistics) {
+  // k = 2, slack = 1 over proposals {1, 4, 9}: admissible = [q1, q3] = [1,9].
+  const IntervalValidity val(2, 1);
+  const InputConfig c = InputConfig::of(4, {{0, 9}, {1, 1}, {2, 4}});
+  EXPECT_TRUE(val.admissible(c, 1));
+  EXPECT_TRUE(val.admissible(c, 5));
+  EXPECT_TRUE(val.admissible(c, 9));
+  EXPECT_FALSE(val.admissible(c, 0));
+  EXPECT_FALSE(val.admissible(c, 10));
+}
+
+TEST(IntervalValidity, ClampingAtTheEdges) {
+  // k = 1, slack = 1: lower index clamps to 1.
+  const IntervalValidity val(1, 1);
+  const InputConfig c = InputConfig::of(4, {{0, 2}, {1, 5}, {2, 8}});
+  EXPECT_TRUE(val.admissible(c, 2));
+  EXPECT_TRUE(val.admissible(c, 5));  // q2 = 5 is the upper bound
+  EXPECT_FALSE(val.admissible(c, 6));
+}
+
+TEST(MedianValidity, CentersOnMedian) {
+  const MedianValidity val(4, 1);  // k = (4-1+1)/2 = 2, slack = 1
+  const InputConfig c = InputConfig::of(4, {{0, 10}, {1, 20}, {2, 30}});
+  // admissible = [q1, q3] = [10, 30].
+  EXPECT_TRUE(val.admissible(c, 10));
+  EXPECT_TRUE(val.admissible(c, 30));
+  EXPECT_FALSE(val.admissible(c, 31));
+}
+
+TEST(ConvexHullValidity, HullOfCorrectProposals) {
+  const ConvexHullValidity val;
+  const InputConfig c = InputConfig::of(4, {{0, -5}, {1, 10}, {2, 0}});
+  EXPECT_TRUE(val.admissible(c, -5));
+  EXPECT_TRUE(val.admissible(c, 3));
+  EXPECT_TRUE(val.admissible(c, 10));
+  EXPECT_FALSE(val.admissible(c, -6));
+  EXPECT_FALSE(val.admissible(c, 11));
+}
+
+TEST(ConstantValidity, ExclusivePinsSingleValue) {
+  const ConstantValidity val(42);
+  const InputConfig c = InputConfig::of(3, {{0, 1}, {1, 2}});
+  EXPECT_TRUE(val.admissible(c, 42));
+  EXPECT_FALSE(val.admissible(c, 41));
+}
+
+TEST(ConstantValidity, NonExclusiveAdmitsEverything) {
+  const ConstantValidity val(42, /*exclusive=*/false);
+  const InputConfig c = InputConfig::of(3, {{0, 1}, {1, 2}});
+  EXPECT_TRUE(val.admissible(c, 0));
+  EXPECT_TRUE(val.admissible(c, 42));
+}
+
+TEST(TableValidity, ExplicitMapping) {
+  TableValidity::Table table;
+  const InputConfig c1 = InputConfig::of(3, {{0, 0}, {1, 0}});
+  table[c1] = {1};
+  const TableValidity val(std::move(table));
+  EXPECT_TRUE(val.admissible(c1, 1));
+  EXPECT_FALSE(val.admissible(c1, 0));
+  // Unmapped configurations default to "everything admissible".
+  EXPECT_TRUE(val.admissible(InputConfig::of(3, {{0, 1}, {1, 1}}), 7));
+}
+
+TEST(AdmissibleSet, FiltersOutputDomain) {
+  const StrongValidity val;
+  const InputConfig unanimous = InputConfig::of(4, {{0, 2}, {1, 2}, {2, 2}});
+  EXPECT_EQ(val.admissible_set(unanimous, {0, 1, 2, 3}),
+            (std::vector<Value>{2}));
+  const InputConfig mixed = InputConfig::of(4, {{0, 2}, {1, 1}, {2, 2}});
+  EXPECT_EQ(val.admissible_set(mixed, {0, 1, 2}).size(), 3u);
+}
+
+TEST(ValidityProperty, ValNeverEmptyOnSolvableZoo) {
+  // The definition requires val(c) != ∅ for every c. Check over a finite
+  // output domain large enough to contain all constrained values.
+  const std::vector<Value> domain = {0, 1, 2};
+  const StrongValidity strong;
+  const WeakValidity weak;
+  const CorrectProposalValidity correct;
+  const ConvexHullValidity hull;
+  const MedianValidity median(4, 1);
+  for (const ValidityProperty* val :
+       {static_cast<const ValidityProperty*>(&strong),
+        static_cast<const ValidityProperty*>(&weak),
+        static_cast<const ValidityProperty*>(&correct),
+        static_cast<const ValidityProperty*>(&hull),
+        static_cast<const ValidityProperty*>(&median)}) {
+    core::for_each_config(4, domain, 3, 4, [&](const InputConfig& c) {
+      EXPECT_FALSE(val->admissible_set(c, domain).empty())
+          << val->name() << " empty at " << c.to_string();
+      return true;
+    });
+  }
+}
