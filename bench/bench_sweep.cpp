@@ -1,0 +1,77 @@
+// Sweep throughput: scenarios/sec of the ScenarioMatrix engine as a
+// function of worker threads, plus a cross-check that every per-scenario
+// result is independent of the job count (each run is a deterministic
+// function of (config, seed); the pool only changes wall-clock time).
+//
+// Speedup is bounded by the machine: on a single hardware thread the pool
+// can only add overhead, so the table prints hardware_concurrency first.
+#include <chrono>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "valcon/harness/sweep.hpp"
+#include "valcon/harness/table.hpp"
+
+using namespace valcon;
+using namespace valcon::harness;
+
+namespace {
+
+bool same_results(const std::vector<SweepOutcome>& a,
+                  const std::vector<SweepOutcome>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const RunResult& x = a[i].result;
+    const RunResult& y = b[i].result;
+    if (x.decisions != y.decisions || x.decide_times != y.decide_times ||
+        x.message_complexity != y.message_complexity ||
+        x.word_complexity != y.word_complexity || x.events != y.events ||
+        x.last_decision_time != y.last_decision_time ||
+        a[i].error != b[i].error) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  std::cout << "sweep throughput (matrix=full, hardware_concurrency=" << hw
+            << ")\n\n";
+
+  const std::vector<SweepPoint> points = named_matrix("full").build();
+
+  std::vector<SweepOutcome> baseline;
+  Table table({"jobs", "scenarios", "wall(s)", "scen/s", "speedup",
+               "results==jobs1"});
+  double base_wall = 0.0;
+  for (const int jobs : {1, 2, 4, 8}) {
+    const SweepRunner runner(jobs);
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<SweepOutcome> outcomes = runner.run(points);
+    const double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    bool identical = true;
+    if (jobs == 1) {
+      baseline = outcomes;
+      base_wall = wall;
+    } else {
+      identical = same_results(baseline, outcomes);
+    }
+    table.add_row({std::to_string(jobs), std::to_string(points.size()),
+                   fmt(wall, 3),
+                   fmt(static_cast<double>(points.size()) / wall, 1),
+                   fmt(base_wall / wall), identical ? "yes" : "NO"});
+    if (!identical) {
+      table.print();
+      std::cerr << "FAIL: results changed with jobs=" << jobs << "\n";
+      return 1;
+    }
+  }
+  table.print();
+  return 0;
+}

@@ -1,7 +1,9 @@
 #include "valcon/harness/scenario.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 #include "valcon/consensus/auth_vector_consensus.hpp"
 #include "valcon/consensus/fast_vector_consensus.hpp"
@@ -15,6 +17,16 @@ std::string to_string(VcKind kind) {
     case VcKind::kAuthenticated: return "auth(Alg1)";
     case VcKind::kNonAuthenticated: return "nonauth(Alg3)";
     case VcKind::kFast: return "fast(Alg6)";
+  }
+  return "?";
+}
+
+std::string to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kSilent: return "silent";
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kEquivocate: return "equivocate";
+    case FaultKind::kDelay: return "delay";
   }
   return "?";
 }
@@ -68,9 +80,41 @@ std::unique_ptr<core::Universal> make_universal(
   return universal;
 }
 
+void validate(const ScenarioConfig& cfg) {
+  const auto fail = [](const std::string& what) {
+    throw std::invalid_argument("ScenarioConfig: " + what);
+  };
+  if (cfg.n <= 0) fail("n must be positive, got n=" + std::to_string(cfg.n));
+  if (cfg.t < 0 || cfg.t >= cfg.n) {
+    fail("t must satisfy 0 <= t < n, got n=" + std::to_string(cfg.n) +
+         " t=" + std::to_string(cfg.t));
+  }
+  if (static_cast<int>(cfg.proposals.size()) != cfg.n) {
+    fail("expected one proposal per process (n=" + std::to_string(cfg.n) +
+         "), got " + std::to_string(cfg.proposals.size()));
+  }
+  if (static_cast<int>(cfg.faults.size()) > cfg.t) {
+    fail("more faults (" + std::to_string(cfg.faults.size()) +
+         ") than the tolerance t=" + std::to_string(cfg.t));
+  }
+  for (const auto& [pid, fault] : cfg.faults) {
+    if (pid < 0 || pid >= cfg.n) {
+      fail("fault id " + std::to_string(pid) + " outside [0, " +
+           std::to_string(cfg.n) + ")");
+    }
+    if (fault.kind == FaultKind::kCrash && fault.crash_time < 0) {
+      fail("crash_time for process " + std::to_string(pid) +
+           " must be >= 0");
+    }
+  }
+  if (cfg.delta <= 0) fail("delta must be positive");
+  if (cfg.gst < 0) fail("gst must be >= 0");
+  if (cfg.horizon <= 0) fail("horizon must be positive");
+}
+
 RunResult run_universal(const ScenarioConfig& cfg,
                         const core::LambdaFn& lambda) {
-  assert(static_cast<int>(cfg.proposals.size()) == cfg.n);
+  validate(cfg);
 
   sim::SimConfig sim_cfg;
   sim_cfg.n = cfg.n;
@@ -81,6 +125,7 @@ RunResult run_universal(const ScenarioConfig& cfg,
   sim::Simulator simulator(sim_cfg);
 
   auto result = std::make_shared<RunResult>();
+  auto correct_decided = std::make_shared<int>(0);
 
   for (ProcessId p = 0; p < cfg.n; ++p) {
     const auto fault = cfg.faults.find(p);
@@ -89,15 +134,35 @@ RunResult run_universal(const ScenarioConfig& cfg,
       simulator.add_process(p, std::make_unique<sim::SilentProcess>());
       continue;
     }
+    if (fault != cfg.faults.end() &&
+        fault->second.kind == FaultKind::kEquivocate) {
+      // Split-brain equivocation (the Lemma 2 adversary): two independent
+      // correct stacks with conflicting proposals, each confined to its
+      // half of the process set.
+      simulator.mark_faulty(p);
+      auto face0 = std::make_unique<sim::ComponentHost>(make_universal(
+          cfg, cfg.proposals[static_cast<std::size_t>(p)], lambda,
+          [](sim::Context&, Value) {}));
+      auto face1 = std::make_unique<sim::ComponentHost>(
+          make_universal(cfg, fault->second.equivocal_value, lambda,
+                         [](sim::Context&, Value) {}));
+      const int half = cfg.n / 2;
+      simulator.add_process(
+          p, std::make_unique<sim::TwoFacedProcess>(
+                 std::move(face0), std::move(face1),
+                 [half](ProcessId q) { return q < half ? 0 : 1; }));
+      continue;
+    }
+    const bool is_correct = fault == cfg.faults.end();
     auto universal = make_universal(
         cfg, cfg.proposals[static_cast<std::size_t>(p)], lambda,
-        [result, p](sim::Context& ctx, Value v) {
+        [result, correct_decided, p, is_correct](sim::Context& ctx, Value v) {
           result->decisions[p] = v;
           result->decide_times[p] = ctx.now();
           result->last_decision_time =
               std::max(result->last_decision_time, ctx.now());
+          if (is_correct) ++*correct_decided;
         });
-    core::Universal* universal_raw = universal.get();
     std::unique_ptr<sim::Process> process =
         std::make_unique<sim::ComponentHost>(std::move(universal));
     if (fault != cfg.faults.end() && fault->second.kind == FaultKind::kCrash) {
@@ -105,11 +170,37 @@ RunResult run_universal(const ScenarioConfig& cfg,
       process = std::make_unique<sim::CrashShim>(std::move(process),
                                                  fault->second.crash_time);
     }
-    static_cast<void>(universal_raw);
+    if (fault != cfg.faults.end() && fault->second.kind == FaultKind::kDelay) {
+      // The process itself behaves correctly; the adversary holds all its
+      // outbound links (the self-link models local computation and stays
+      // prompt) until release_time, clipped by the network to the model
+      // bound max(send, GST) + delta.
+      simulator.mark_faulty(p);
+      const Time release = fault->second.release_time >= 0
+                               ? fault->second.release_time
+                               : cfg.gst + cfg.delta;
+      for (ProcessId q = 0; q < cfg.n; ++q) {
+        if (q != p) simulator.network().hold(p, q, release);
+      }
+    }
     simulator.add_process(p, std::move(process));
   }
 
-  result->events = simulator.run(cfg.horizon);
+  // Run to quiescence, but once every correct process has decided only let
+  // the residual protocol chatter (decide-echo waves etc.) play out for a
+  // bounded grace window: a faulty process — e.g. an equivocator's inner
+  // stacks — may otherwise re-arm timers forever and drag the run to the
+  // horizon. The cutoff is in simulated time, so results stay deterministic.
+  const int n_correct = cfg.n - static_cast<int>(cfg.faults.size());
+  Time cutoff = cfg.horizon;
+  std::uint64_t events = 0;
+  while (simulator.step(cutoff)) {
+    ++events;
+    if (cutoff == cfg.horizon && *correct_decided == n_correct) {
+      cutoff = std::min(cfg.horizon, simulator.now() + 10 * cfg.delta);
+    }
+  }
+  result->events = events;
   result->message_complexity = simulator.metrics().message_complexity();
   result->word_complexity = simulator.metrics().communication_complexity();
   result->messages_total = simulator.metrics().messages_total();

@@ -26,13 +26,23 @@ enum class VcKind {
 [[nodiscard]] std::string to_string(VcKind kind);
 
 enum class FaultKind {
-  kSilent,   // canonical behavior: no computational steps at all
-  kCrash,    // correct until crash_time, then silent
+  kSilent,      // canonical behavior: no computational steps at all
+  kCrash,       // correct until crash_time, then silent
+  kEquivocate,  // split-brain: two full correct stacks, one per half of the
+                // process set, proposing the configured value to the lower
+                // half and equivocal_value to the upper half
+  kDelay,       // correct behavior, but every outbound link (except the
+                // self-link) is held until release_time — messages sent
+                // before GST surface only afterwards
 };
+
+[[nodiscard]] std::string to_string(FaultKind kind);
 
 struct Fault {
   FaultKind kind = FaultKind::kSilent;
-  Time crash_time = 0.0;
+  Time crash_time = 0.0;      // kCrash: stop taking steps at this time
+  Value equivocal_value = 0;  // kEquivocate: proposal shown to the upper half
+  Time release_time = -1.0;   // kDelay: hold-until; < 0 means gst + delta
 };
 
 struct ScenarioConfig {
@@ -73,7 +83,13 @@ struct RunResult {
     const ScenarioConfig& cfg, Value proposal, core::LambdaFn lambda,
     core::Universal::DecideCb on_decide);
 
-/// Runs Universal end to end with the given Λ.
+/// Throws std::invalid_argument unless cfg is well-formed: n > 0,
+/// 0 <= t < n, one proposal per process, at most t faults, every fault id
+/// in [0, n), delta > 0, gst >= 0 and horizon > 0.
+void validate(const ScenarioConfig& cfg);
+
+/// Runs Universal end to end with the given Λ. Validates cfg first (see
+/// validate()) and throws std::invalid_argument on misconfiguration.
 [[nodiscard]] RunResult run_universal(const ScenarioConfig& cfg,
                                       const core::LambdaFn& lambda);
 

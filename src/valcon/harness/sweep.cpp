@@ -1,0 +1,283 @@
+#include "valcon/harness/sweep.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+#include "valcon/core/lambda.hpp"
+#include "valcon/harness/table.hpp"
+
+namespace valcon::harness {
+
+std::string to_string(ValidityKind kind) {
+  switch (kind) {
+    case ValidityKind::kStrong: return "Strong";
+    case ValidityKind::kWeak: return "Weak";
+    case ValidityKind::kCorrectProposal: return "CorrectProposal";
+    case ValidityKind::kMedian: return "Median";
+    case ValidityKind::kConvexHull: return "ConvexHull";
+  }
+  return "?";
+}
+
+std::unique_ptr<core::ValidityProperty> make_validity(ValidityKind kind, int n,
+                                                      int t) {
+  switch (kind) {
+    case ValidityKind::kStrong:
+      return std::make_unique<core::StrongValidity>();
+    case ValidityKind::kWeak:
+      return std::make_unique<core::WeakValidity>();
+    case ValidityKind::kCorrectProposal:
+      return std::make_unique<core::CorrectProposalValidity>();
+    case ValidityKind::kMedian:
+      return std::make_unique<core::MedianValidity>(n, t);
+    case ValidityKind::kConvexHull:
+      return std::make_unique<core::ConvexHullValidity>();
+  }
+  throw std::invalid_argument("unknown ValidityKind");
+}
+
+std::string FaultSpec::label(int t) const {
+  // Mirrors the clamp build() applies, so the label always names the number
+  // of faults actually injected.
+  const int resolved = count < 0 ? t : std::min(count, t);
+  if (resolved == 0) return "none";
+  return to_string(kind) + "x" + std::to_string(resolved);
+}
+
+ScenarioMatrix& ScenarioMatrix::vc_kinds(std::vector<VcKind> v) {
+  vcs_ = std::move(v);
+  return *this;
+}
+ScenarioMatrix& ScenarioMatrix::validities(std::vector<ValidityKind> v) {
+  validities_ = std::move(v);
+  return *this;
+}
+ScenarioMatrix& ScenarioMatrix::faults(std::vector<FaultSpec> v) {
+  faults_ = std::move(v);
+  return *this;
+}
+ScenarioMatrix& ScenarioMatrix::sizes(std::vector<std::pair<int, int>> nt) {
+  sizes_ = std::move(nt);
+  return *this;
+}
+ScenarioMatrix& ScenarioMatrix::gsts(std::vector<Time> v) {
+  gsts_ = std::move(v);
+  return *this;
+}
+ScenarioMatrix& ScenarioMatrix::deltas(std::vector<Time> v) {
+  deltas_ = std::move(v);
+  return *this;
+}
+ScenarioMatrix& ScenarioMatrix::seeds(std::vector<std::uint64_t> v) {
+  seeds_ = std::move(v);
+  return *this;
+}
+ScenarioMatrix& ScenarioMatrix::proposal_domain(Value domain_size) {
+  domain_ = domain_size;
+  return *this;
+}
+
+std::size_t ScenarioMatrix::size() const {
+  return vcs_.size() * validities_.size() * faults_.size() * sizes_.size() *
+         gsts_.size() * deltas_.size() * seeds_.size();
+}
+
+std::vector<SweepPoint> ScenarioMatrix::build() const {
+  if (domain_ < 2) {
+    throw std::invalid_argument("proposal domain must have >= 2 values");
+  }
+  for (const auto& [n, t] : sizes_) {
+    if (n <= 0 || t < 0 || t >= n) {
+      throw std::invalid_argument("size (n=" + std::to_string(n) +
+                                  ", t=" + std::to_string(t) +
+                                  ") violates 0 <= t < n");
+    }
+  }
+
+  std::vector<SweepPoint> points;
+  points.reserve(size());
+  for (const VcKind vc : vcs_) {
+    for (const ValidityKind validity : validities_) {
+      for (const FaultSpec& spec : faults_) {
+        for (const auto& [n, t] : sizes_) {
+          for (const Time gst : gsts_) {
+            for (const Time delta : deltas_) {
+              for (const std::uint64_t seed : seeds_) {
+                ScenarioConfig cfg;
+                cfg.n = n;
+                cfg.t = t;
+                cfg.delta = delta;
+                cfg.gst = gst;
+                cfg.seed = seed;
+                cfg.vc = vc;
+                for (int p = 0; p < n; ++p) {
+                  cfg.proposals.push_back(
+                      (static_cast<Value>(p) + static_cast<Value>(seed)) %
+                      domain_);
+                }
+                const int count =
+                    std::min(spec.count < 0 ? t : spec.count, t);
+                for (int f = 0; f < count; ++f) {
+                  const ProcessId pid = n - 1 - f;
+                  Fault fault;
+                  fault.kind = spec.kind;
+                  fault.crash_time =
+                      spec.crash_time < 0 ? gst : spec.crash_time;
+                  fault.release_time = spec.release_time;
+                  fault.equivocal_value =
+                      spec.equivocal_value < 0
+                          ? (cfg.proposals[static_cast<std::size_t>(pid)] +
+                             1) % domain_
+                          : spec.equivocal_value;
+                  cfg.faults[pid] = fault;
+                }
+                SweepPoint point;
+                point.index = points.size();
+                point.config = cfg;
+                point.validity = validity;
+                point.label = "vc=" + to_string(vc) +
+                              " val=" + to_string(validity) +
+                              " fault=" + spec.label(t) +
+                              " n=" + std::to_string(n) +
+                              " t=" + std::to_string(t) + " gst=" + fmt(gst) +
+                              " delta=" + fmt(delta) +
+                              " seed=" + std::to_string(seed);
+                points.push_back(std::move(point));
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return points;
+}
+
+SweepOutcome run_point(const SweepPoint& point) {
+  SweepOutcome outcome;
+  outcome.point = point;
+  const ScenarioConfig& cfg = point.config;
+  const auto validity = make_validity(point.validity, cfg.n, cfg.t);
+  try {
+    const auto lambda = core::make_lambda(*validity, cfg.n, cfg.t);
+    outcome.result = run_universal(cfg, lambda);
+  } catch (const std::exception& e) {
+    outcome.error = e.what();
+    outcome.decided = false;
+    return outcome;
+  }
+  outcome.decided = outcome.result.all_correct_decided(cfg);
+  outcome.agreement = outcome.result.agreement();
+
+  // The execution's real input configuration: the correct processes and
+  // their proposals (every process in cfg.faults counts as faulty).
+  core::InputConfig real(cfg.n);
+  for (ProcessId p = 0; p < cfg.n; ++p) {
+    if (cfg.faults.count(p) == 0) {
+      real.set(p, cfg.proposals[static_cast<std::size_t>(p)]);
+    }
+  }
+  outcome.validity_ok = true;
+  for (const auto& [pid, v] : outcome.result.decisions) {
+    if (!validity->admissible(real, v)) {
+      outcome.validity_ok = false;
+      break;
+    }
+  }
+  return outcome;
+}
+
+SweepRunner::SweepRunner(int jobs) : jobs_(jobs < 1 ? 1 : jobs) {}
+
+std::vector<SweepOutcome> SweepRunner::run(
+    const std::vector<SweepPoint>& points) const {
+  std::vector<SweepOutcome> outcomes(points.size());
+  std::atomic<std::size_t> next{0};
+  const auto worker = [&points, &outcomes, &next] {
+    for (std::size_t i = next.fetch_add(1); i < points.size();
+         i = next.fetch_add(1)) {
+      outcomes[i] = run_point(points[i]);
+    }
+  };
+  if (jobs_ == 1 || points.size() <= 1) {
+    worker();
+    return outcomes;
+  }
+  std::vector<std::thread> pool;
+  const std::size_t workers =
+      std::min<std::size_t>(static_cast<std::size_t>(jobs_), points.size());
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (std::thread& thread : pool) thread.join();
+  return outcomes;
+}
+
+SweepSummary SweepRunner::summarize(const std::vector<SweepOutcome>& outcomes,
+                                    double wall_seconds) {
+  SweepSummary summary;
+  summary.total = outcomes.size();
+  summary.wall_seconds = wall_seconds;
+  double latency = 0, msgs = 0, words = 0;
+  for (const SweepOutcome& o : outcomes) {
+    if (!o.error.empty()) {
+      ++summary.errors;
+      continue;
+    }
+    if (o.decided) {
+      ++summary.decided;
+      latency += o.result.last_decision_time;
+      msgs += static_cast<double>(o.result.message_complexity);
+      words += static_cast<double>(o.result.word_complexity);
+    }
+    if (!o.agreement) ++summary.agreement_violations;
+    if (!o.validity_ok) ++summary.validity_violations;
+  }
+  if (summary.decided > 0) {
+    const auto d = static_cast<double>(summary.decided);
+    summary.mean_latency = latency / d;
+    summary.mean_message_complexity = msgs / d;
+    summary.mean_word_complexity = words / d;
+  }
+  if (wall_seconds > 0) {
+    summary.scenarios_per_second =
+        static_cast<double>(summary.total) / wall_seconds;
+  }
+  return summary;
+}
+
+ScenarioMatrix named_matrix(const std::string& name) {
+  const std::vector<VcKind> all_vcs{VcKind::kAuthenticated,
+                                    VcKind::kNonAuthenticated, VcKind::kFast};
+  const std::vector<FaultSpec> all_faults{
+      FaultSpec{FaultKind::kSilent, 0, -1.0, -1.0, -1},  // fault-free
+      FaultSpec{FaultKind::kSilent, -1, -1.0, -1.0, -1},
+      FaultSpec{FaultKind::kCrash, -1, -1.0, -1.0, -1},
+      FaultSpec{FaultKind::kEquivocate, -1, -1.0, -1.0, -1},
+      FaultSpec{FaultKind::kDelay, -1, -1.0, -1.0, -1},
+  };
+  if (name == "smoke") {
+    return ScenarioMatrix()
+        .vc_kinds(all_vcs)
+        .validities({ValidityKind::kStrong})
+        .faults(all_faults)
+        .sizes({{4, 1}})
+        .seeds({1, 2});
+  }
+  if (name == "full") {
+    return ScenarioMatrix()
+        .vc_kinds(all_vcs)
+        .validities({ValidityKind::kStrong, ValidityKind::kWeak,
+                     ValidityKind::kMedian, ValidityKind::kConvexHull})
+        .faults(all_faults)
+        .sizes({{4, 1}, {7, 2}})
+        .gsts({0.0, 5.0})
+        .seeds({1, 2, 3});
+  }
+  throw std::invalid_argument("unknown matrix '" + name +
+                              "' (expected: smoke, full)");
+}
+
+}  // namespace valcon::harness

@@ -1,0 +1,148 @@
+// Scenario-matrix engine: enumerates the cross product of protocol stack ×
+// validity property × fault pattern × system size × network timing × seed,
+// and fans the resulting (embarrassingly parallel) Simulator runs out over
+// a thread pool. Every run is a deterministic function of (config, seed),
+// so results are identical whatever the job count — the pool only changes
+// wall-clock time. Used by the valcon_sweep CLI, bench_sweep and the tests.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "valcon/core/validity.hpp"
+#include "valcon/harness/scenario.hpp"
+
+namespace valcon::harness {
+
+/// The paper's named validity properties as sweep dimensions.
+enum class ValidityKind {
+  kStrong,
+  kWeak,
+  kCorrectProposal,
+  kMedian,
+  kConvexHull,
+};
+
+[[nodiscard]] std::string to_string(ValidityKind kind);
+
+/// Instantiates the property for a given system size (Median needs n, t).
+[[nodiscard]] std::unique_ptr<core::ValidityProperty> make_validity(
+    ValidityKind kind, int n, int t);
+
+/// One fault pattern of the matrix: `count` processes (the highest ids)
+/// fail in the same way. `count` is clamped to each scenario's t, so one
+/// spec can cross several (n, t) sizes. Negative fields resolve
+/// per-scenario: count < 0 -> t, crash_time < 0 -> gst,
+/// release_time < 0 -> gst + delta, equivocal_value < 0 -> own proposal + 1
+/// (mod proposal domain).
+struct FaultSpec {
+  FaultKind kind = FaultKind::kSilent;
+  int count = -1;
+  Time crash_time = -1.0;
+  Time release_time = -1.0;
+  Value equivocal_value = -1;
+
+  [[nodiscard]] std::string label(int t) const;
+};
+
+/// One cell of the matrix: a fully resolved scenario plus the property to
+/// judge it by.
+struct SweepPoint {
+  std::size_t index = 0;
+  ScenarioConfig config;
+  ValidityKind validity = ValidityKind::kStrong;
+  std::string label;
+};
+
+/// Builder for the cross product. Each setter replaces one dimension; the
+/// defaults give a single authenticated Strong-validity fault-free cell.
+class ScenarioMatrix {
+ public:
+  ScenarioMatrix& vc_kinds(std::vector<VcKind> v);
+  ScenarioMatrix& validities(std::vector<ValidityKind> v);
+  ScenarioMatrix& faults(std::vector<FaultSpec> v);
+  /// (n, t) pairs; every pair must satisfy 0 <= t < n.
+  ScenarioMatrix& sizes(std::vector<std::pair<int, int>> nt);
+  ScenarioMatrix& gsts(std::vector<Time> v);
+  ScenarioMatrix& deltas(std::vector<Time> v);
+  ScenarioMatrix& seeds(std::vector<std::uint64_t> v);
+  /// Proposals are filled as (p + seed) % domain_size.
+  ScenarioMatrix& proposal_domain(Value domain_size);
+
+  /// Number of cells the cross product will produce.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Materializes the cross product. Every returned config passes
+  /// harness::validate(). Throws std::invalid_argument on bad dimensions.
+  [[nodiscard]] std::vector<SweepPoint> build() const;
+
+ private:
+  std::vector<VcKind> vcs_{VcKind::kAuthenticated};
+  std::vector<ValidityKind> validities_{ValidityKind::kStrong};
+  std::vector<FaultSpec> faults_{FaultSpec{}};
+  std::vector<std::pair<int, int>> sizes_{{4, 1}};
+  std::vector<Time> gsts_{0.0};
+  std::vector<Time> deltas_{1.0};
+  std::vector<std::uint64_t> seeds_{1};
+  Value domain_ = 3;
+};
+
+/// Result of one cell: the raw RunResult plus the verdicts of the paper's
+/// three properties (Termination / Agreement / Validity) against the real
+/// input configuration of the execution.
+struct SweepOutcome {
+  SweepPoint point;
+  RunResult result;
+  bool decided = false;      // every correct process decided
+  bool agreement = true;     // no two correct decisions differ
+  bool validity_ok = true;   // decisions admissible under the real config
+  std::string error;         // exception text if the run threw
+};
+
+/// Aggregate of a whole sweep.
+struct SweepSummary {
+  std::size_t total = 0;
+  std::size_t decided = 0;
+  std::size_t agreement_violations = 0;
+  std::size_t validity_violations = 0;
+  std::size_t errors = 0;
+  double mean_latency = 0.0;             // mean last decision time (decided)
+  double mean_message_complexity = 0.0;  // mean over decided runs
+  double mean_word_complexity = 0.0;
+  double wall_seconds = 0.0;
+  double scenarios_per_second = 0.0;
+};
+
+/// Runs a single cell (what the pool workers execute).
+[[nodiscard]] SweepOutcome run_point(const SweepPoint& point);
+
+/// Fans cells out over `jobs` worker threads. Outcome order always matches
+/// the input order, and each outcome is independent of the job count.
+class SweepRunner {
+ public:
+  explicit SweepRunner(int jobs = 1);
+
+  [[nodiscard]] int jobs() const { return jobs_; }
+
+  [[nodiscard]] std::vector<SweepOutcome> run(
+      const std::vector<SweepPoint>& points) const;
+
+  [[nodiscard]] static SweepSummary summarize(
+      const std::vector<SweepOutcome>& outcomes, double wall_seconds);
+
+ private:
+  int jobs_;
+};
+
+/// Named matrices shared by the CLI and the bench:
+///   "smoke" — all stacks x all fault kinds, n=4 (quick check);
+///   "full"  — all stacks x {Strong, Weak, Median, ConvexHull} x all fault
+///             kinds (plus fault-free) x {(4,1), (7,2)} x two GSTs x three
+///             seeds: 720 scenarios.
+/// Throws std::invalid_argument for unknown names.
+[[nodiscard]] ScenarioMatrix named_matrix(const std::string& name);
+
+}  // namespace valcon::harness

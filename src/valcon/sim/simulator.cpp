@@ -1,5 +1,8 @@
 #include "valcon/sim/simulator.hpp"
 
+#include <stdexcept>
+#include <string>
+
 namespace valcon::sim {
 
 class Simulator::ProcessContext final : public Context {
@@ -43,8 +46,23 @@ class Simulator::ProcessContext final : public Context {
 
 Simulator::~Simulator() = default;
 
+namespace {
+
+// Runs before any other member is constructed (config_ is the first member),
+// so an invalid configuration never reaches KeyRegistry & co.
+SimConfig validated(SimConfig config) {
+  if (config.n <= 0 || config.t < 0 || config.t >= config.n) {
+    throw std::invalid_argument("SimConfig requires 0 <= t < n, got n=" +
+                                std::to_string(config.n) +
+                                " t=" + std::to_string(config.t));
+  }
+  return config;
+}
+
+}  // namespace
+
 Simulator::Simulator(SimConfig config)
-    : config_(config),
+    : config_(validated(config)),
       network_(config.net, config.seed * 0x9e3779b1ULL + 17),
       keys_(config.n, config.threshold_k > 0 ? config.threshold_k
                                              : config.n - config.t,
@@ -52,14 +70,27 @@ Simulator::Simulator(SimConfig config)
       processes_(static_cast<std::size_t>(config.n)),
       contexts_(static_cast<std::size_t>(config.n)),
       faulty_(static_cast<std::size_t>(config.n), false),
-      started_(static_cast<std::size_t>(config.n), false) {
-  assert(config.n > 0 && config.t >= 0 && config.t < config.n);
+      started_(static_cast<std::size_t>(config.n), false) {}
+
+std::size_t Simulator::checked_index(ProcessId id) const {
+  if (id < 0 || id >= config_.n) {
+    throw std::out_of_range("process id " + std::to_string(id) +
+                            " outside [0, " + std::to_string(config_.n) + ")");
+  }
+  return static_cast<std::size_t>(id);
 }
 
 void Simulator::add_process(ProcessId id, std::unique_ptr<Process> process,
                             Time start_time) {
-  const auto idx = static_cast<std::size_t>(id);
-  assert(idx < processes_.size() && !processes_[idx]);
+  const std::size_t idx = checked_index(id);
+  if (process == nullptr) {
+    throw std::invalid_argument("add_process: null process for id " +
+                                std::to_string(id));
+  }
+  if (processes_[idx] != nullptr) {
+    throw std::invalid_argument("add_process: duplicate process id " +
+                                std::to_string(id));
+  }
   processes_[idx] = std::move(process);
   contexts_[idx] = std::make_unique<ProcessContext>(
       this, id, config_.seed * 1000003ULL + static_cast<std::uint64_t>(id));
@@ -67,9 +98,7 @@ void Simulator::add_process(ProcessId id, std::unique_ptr<Process> process,
                     nullptr, 0});
 }
 
-void Simulator::mark_faulty(ProcessId id) {
-  faulty_[static_cast<std::size_t>(id)] = true;
-}
+void Simulator::mark_faulty(ProcessId id) { faulty_[checked_index(id)] = true; }
 
 std::uint64_t Simulator::run(Time horizon) {
   std::uint64_t events = 0;

@@ -37,12 +37,15 @@ class Simulator {
 
   /// Installs the process with id `id`, starting at local time
   /// `start_time` (all correct processes must start by GST, per the model).
+  /// Throws std::out_of_range for ids outside [0, n) and
+  /// std::invalid_argument for a duplicate id or a null process.
   void add_process(ProcessId id, std::unique_ptr<Process> process,
                    Time start_time = 0.0);
 
+  /// Throws std::out_of_range for ids outside [0, n).
   void mark_faulty(ProcessId id);
   [[nodiscard]] bool is_faulty(ProcessId id) const {
-    return faulty_[static_cast<std::size_t>(id)];
+    return faulty_[checked_index(id)];
   }
 
   [[nodiscard]] Network& network() { return network_; }
@@ -80,6 +83,9 @@ class Simulator {
   };
 
   class ProcessContext;
+
+  /// Validates `id` against [0, n); throws std::out_of_range otherwise.
+  [[nodiscard]] std::size_t checked_index(ProcessId id) const;
 
   void dispatch(const Event& event);
   void do_send(ProcessId from, ProcessId to, PayloadPtr payload);

@@ -5,6 +5,7 @@
 
 #include <cmath>
 #include <map>
+#include <stdexcept>
 #include <vector>
 
 #include "valcon/sim/adversary.hpp"
@@ -169,6 +170,37 @@ TEST(Simulator, SeedChangesSchedule) {
     return times;
   };
   EXPECT_NE(run_once(1), run_once(2));
+}
+
+TEST(Simulator, RejectsOutOfRangeProcessIds) {
+  Simulator sim(basic_config(4, 1));
+  EXPECT_THROW(sim.mark_faulty(-1), std::out_of_range);
+  EXPECT_THROW(sim.mark_faulty(4), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(sim.is_faulty(-1)), std::out_of_range);
+  EXPECT_THROW(static_cast<void>(sim.is_faulty(4)), std::out_of_range);
+  EXPECT_THROW(sim.add_process(-1, std::make_unique<SilentProcess>()),
+               std::out_of_range);
+  EXPECT_THROW(sim.add_process(4, std::make_unique<SilentProcess>()),
+               std::out_of_range);
+  // In-range ids still work, and marking one process faulty is visible.
+  sim.add_process(0, std::make_unique<SilentProcess>());
+  sim.mark_faulty(0);
+  EXPECT_TRUE(sim.is_faulty(0));
+  EXPECT_FALSE(sim.is_faulty(3));
+}
+
+TEST(Simulator, RejectsDuplicateAndNullProcesses) {
+  Simulator sim(basic_config(4, 1));
+  sim.add_process(2, std::make_unique<SilentProcess>());
+  EXPECT_THROW(sim.add_process(2, std::make_unique<SilentProcess>()),
+               std::invalid_argument);
+  EXPECT_THROW(sim.add_process(1, nullptr), std::invalid_argument);
+}
+
+TEST(Simulator, RejectsInvalidConfig) {
+  EXPECT_THROW(Simulator(basic_config(0, 0)), std::invalid_argument);
+  EXPECT_THROW(Simulator(basic_config(4, 4)), std::invalid_argument);
+  EXPECT_THROW(Simulator(basic_config(4, -1)), std::invalid_argument);
 }
 
 TEST(Simulator, NoDeliveryBeforeLocalStart) {

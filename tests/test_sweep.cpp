@@ -1,0 +1,247 @@
+// Scenario-matrix engine (harness/sweep.hpp) and the extended fault model:
+// matrix construction, thread-count-independent determinism, crash exactly
+// at GST, equivocation and delay faults under every vector-consensus stack,
+// and loud rejection of misconfigured scenarios.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+#include "valcon/core/lambda.hpp"
+#include "valcon/harness/sweep.hpp"
+
+using namespace valcon;
+using namespace valcon::core;
+using harness::FaultKind;
+using harness::FaultSpec;
+using harness::ScenarioConfig;
+using harness::ScenarioMatrix;
+using harness::SweepOutcome;
+using harness::SweepPoint;
+using harness::SweepRunner;
+using harness::ValidityKind;
+using harness::VcKind;
+
+namespace {
+
+constexpr std::initializer_list<VcKind> kAllVcs = {
+    VcKind::kAuthenticated, VcKind::kNonAuthenticated, VcKind::kFast};
+
+void expect_equal_results(const std::vector<SweepOutcome>& a,
+                          const std::vector<SweepOutcome>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    SCOPED_TRACE(a[i].point.label);
+    EXPECT_EQ(a[i].result.decisions, b[i].result.decisions);
+    EXPECT_EQ(a[i].result.decide_times, b[i].result.decide_times);
+    EXPECT_EQ(a[i].result.message_complexity, b[i].result.message_complexity);
+    EXPECT_EQ(a[i].result.word_complexity, b[i].result.word_complexity);
+    EXPECT_EQ(a[i].result.messages_total, b[i].result.messages_total);
+    EXPECT_EQ(a[i].result.events, b[i].result.events);
+    EXPECT_EQ(a[i].result.last_decision_time, b[i].result.last_decision_time);
+    EXPECT_EQ(a[i].error, b[i].error);
+  }
+}
+
+}  // namespace
+
+// ------------------------------------------------------------- the matrix
+
+TEST(ScenarioMatrix, SizeIsTheCrossProduct) {
+  ScenarioMatrix matrix;
+  matrix.vc_kinds({VcKind::kAuthenticated, VcKind::kFast})
+      .validities({ValidityKind::kStrong, ValidityKind::kMedian})
+      .faults({FaultSpec{FaultKind::kSilent, 0},
+               FaultSpec{FaultKind::kCrash, -1}})
+      .sizes({{4, 1}, {7, 2}})
+      .gsts({0.0, 3.0})
+      .seeds({1, 2, 3});
+  EXPECT_EQ(matrix.size(), 2u * 2u * 2u * 2u * 2u * 3u);
+  const auto points = matrix.build();
+  ASSERT_EQ(points.size(), matrix.size());
+  std::set<std::string> labels;
+  for (const auto& point : points) {
+    EXPECT_NO_THROW(harness::validate(point.config)) << point.label;
+    labels.insert(point.label);
+  }
+  EXPECT_EQ(labels.size(), points.size()) << "labels must be unique";
+}
+
+TEST(ScenarioMatrix, NamedMatricesBuildAndFullHasAtLeast500Cells) {
+  const auto smoke = harness::named_matrix("smoke").build();
+  EXPECT_GE(smoke.size(), 24u);
+  const auto full = harness::named_matrix("full").build();
+  EXPECT_GE(full.size(), 500u);
+  // The full matrix must exercise every stack and every fault kind.
+  std::set<VcKind> vcs;
+  std::set<FaultKind> fault_kinds;
+  for (const auto& point : full) {
+    vcs.insert(point.config.vc);
+    for (const auto& [pid, fault] : point.config.faults) {
+      fault_kinds.insert(fault.kind);
+    }
+  }
+  EXPECT_EQ(vcs.size(), 3u);
+  EXPECT_EQ(fault_kinds.size(), 4u);
+  EXPECT_THROW(harness::named_matrix("nope"), std::invalid_argument);
+}
+
+TEST(ScenarioMatrix, RejectsBadDimensions) {
+  EXPECT_THROW(ScenarioMatrix().sizes({{4, 4}}).build(),
+               std::invalid_argument);
+  EXPECT_THROW(ScenarioMatrix().proposal_domain(1).build(),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------------- determinism
+
+TEST(SweepRunner, ResultsIndependentOfJobCount) {
+  const auto points = harness::named_matrix("smoke").build();
+  const auto jobs1 = SweepRunner(1).run(points);
+  const auto jobs4 = SweepRunner(4).run(points);
+  const auto jobs8 = SweepRunner(8).run(points);
+  expect_equal_results(jobs1, jobs4);
+  expect_equal_results(jobs1, jobs8);
+}
+
+TEST(SweepRunner, SmokeMatrixIsHealthy) {
+  const auto points = harness::named_matrix("smoke").build();
+  const auto outcomes = SweepRunner(2).run(points);
+  const auto summary = SweepRunner::summarize(outcomes, 1.0);
+  EXPECT_EQ(summary.total, points.size());
+  EXPECT_EQ(summary.decided, points.size());
+  EXPECT_EQ(summary.agreement_violations, 0u);
+  EXPECT_EQ(summary.validity_violations, 0u);
+  EXPECT_EQ(summary.errors, 0u);
+}
+
+// ---------------------------------------------------------- fault edges
+
+TEST(FaultEdges, CrashExactlyAtGst) {
+  // GST > 0 and a process that crashes at precisely that instant: the
+  // survivors must still reach consensus.
+  for (const VcKind kind : kAllVcs) {
+    SCOPED_TRACE(harness::to_string(kind));
+    ScenarioConfig cfg;
+    cfg.n = 4;
+    cfg.t = 1;
+    cfg.gst = 5.0;
+    cfg.vc = kind;
+    cfg.proposals = {2, 2, 2, 2};
+    cfg.faults[3] = {FaultKind::kCrash, /*crash_time=*/5.0};
+    const StrongValidity validity;
+    const auto result =
+        harness::run_universal(cfg, make_lambda(validity, cfg.n, cfg.t));
+    EXPECT_TRUE(result.all_correct_decided(cfg));
+    EXPECT_TRUE(result.agreement());
+    ASSERT_TRUE(result.common_decision().has_value());
+    EXPECT_EQ(*result.common_decision(), 2);  // unanimity pins the decision
+  }
+}
+
+TEST(FaultEdges, EquivocatingProposerUnderEachVcKind) {
+  for (const VcKind kind : kAllVcs) {
+    SCOPED_TRACE(harness::to_string(kind));
+    ScenarioConfig cfg;
+    cfg.n = 4;
+    cfg.t = 1;
+    cfg.vc = kind;
+    cfg.proposals = {1, 1, 1, 0};
+    harness::Fault fault;
+    fault.kind = FaultKind::kEquivocate;
+    fault.equivocal_value = 9;
+    cfg.faults[3] = fault;
+    const StrongValidity validity;
+    const auto result = harness::run_universal(
+        cfg, make_lambda(validity, cfg.n, cfg.t, {0, 1, 9}, {0, 1, 9}));
+    EXPECT_TRUE(result.all_correct_decided(cfg));
+    EXPECT_TRUE(result.agreement());
+    // All correct processes propose 1, so Strong Validity forces 1.
+    ASSERT_TRUE(result.common_decision().has_value());
+    EXPECT_EQ(*result.common_decision(), 1);
+  }
+}
+
+TEST(FaultEdges, DelayedSenderUnderEachVcKind) {
+  // One sender's outbound links are held until after GST; consensus must
+  // still terminate and agree.
+  for (const VcKind kind : kAllVcs) {
+    SCOPED_TRACE(harness::to_string(kind));
+    ScenarioConfig cfg;
+    cfg.n = 4;
+    cfg.t = 1;
+    cfg.gst = 4.0;
+    cfg.vc = kind;
+    cfg.proposals = {0, 1, 0, 1};
+    harness::Fault fault;
+    fault.kind = FaultKind::kDelay;  // release_time < 0 -> gst + delta
+    cfg.faults[0] = fault;
+    const StrongValidity validity;
+    const auto result =
+        harness::run_universal(cfg, make_lambda(validity, cfg.n, cfg.t));
+    EXPECT_TRUE(result.all_correct_decided(cfg));
+    EXPECT_TRUE(result.agreement());
+  }
+}
+
+// ------------------------------------------------------------ validation
+
+TEST(ScenarioValidation, RejectsMisconfiguredScenarios) {
+  const StrongValidity validity;
+  const auto lambda = make_lambda(validity, 4, 1);
+
+  ScenarioConfig wrong_proposals;
+  wrong_proposals.proposals = {1, 2};  // n = 4
+  EXPECT_THROW(static_cast<void>(harness::run_universal(wrong_proposals,
+                                                        lambda)),
+               std::invalid_argument);
+
+  ScenarioConfig too_many_faults;
+  too_many_faults.proposals = {1, 1, 1, 1};
+  too_many_faults.faults[0] = {};
+  too_many_faults.faults[1] = {};  // t = 1
+  EXPECT_THROW(static_cast<void>(harness::run_universal(too_many_faults,
+                                                        lambda)),
+               std::invalid_argument);
+
+  ScenarioConfig fault_out_of_range;
+  fault_out_of_range.proposals = {1, 1, 1, 1};
+  fault_out_of_range.faults[7] = {};
+  EXPECT_THROW(static_cast<void>(harness::run_universal(fault_out_of_range,
+                                                        lambda)),
+               std::invalid_argument);
+
+  ScenarioConfig bad_t;
+  bad_t.t = 4;  // t must be < n
+  bad_t.proposals = {1, 1, 1, 1};
+  EXPECT_THROW(static_cast<void>(harness::run_universal(bad_t, lambda)),
+               std::invalid_argument);
+
+  ScenarioConfig bad_delta;
+  bad_delta.proposals = {1, 1, 1, 1};
+  bad_delta.delta = 0.0;
+  EXPECT_THROW(static_cast<void>(harness::run_universal(bad_delta, lambda)),
+               std::invalid_argument);
+
+  ScenarioConfig negative_crash;
+  negative_crash.proposals = {1, 1, 1, 1};
+  negative_crash.faults[0] = {FaultKind::kCrash, -2.0};
+  EXPECT_THROW(static_cast<void>(harness::run_universal(negative_crash,
+                                                        lambda)),
+               std::invalid_argument);
+
+  ScenarioConfig ok;
+  ok.proposals = {1, 1, 1, 1};
+  EXPECT_NO_THROW(static_cast<void>(harness::run_universal(ok, lambda)));
+}
+
+TEST(ValidityFactory, CoversEveryKindAndRoundtripsNames) {
+  for (const ValidityKind kind :
+       {ValidityKind::kStrong, ValidityKind::kWeak,
+        ValidityKind::kCorrectProposal, ValidityKind::kMedian,
+        ValidityKind::kConvexHull}) {
+    const auto property = harness::make_validity(kind, 7, 2);
+    ASSERT_NE(property, nullptr);
+    EXPECT_FALSE(harness::to_string(kind).empty());
+  }
+}

@@ -1,0 +1,186 @@
+// valcon_sweep — runs a named scenario matrix over the thread pool and
+// emits the per-scenario results plus an aggregate summary as JSON.
+//
+//   valcon_sweep [--matrix smoke|full] [--jobs N] [--out FILE] [--quiet]
+//
+// Per-scenario output is a deterministic function of the matrix alone
+// (timing lives only in the summary), so two runs with different --jobs
+// produce identical "scenarios" arrays — which is how the tests and CI
+// check that parallelism never changes results.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "valcon/harness/sweep.hpp"
+#include "valcon/harness/table.hpp"
+
+using namespace valcon;
+using namespace valcon::harness;
+
+namespace {
+
+std::string json_number(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  return buf;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+void write_outcome(std::ostream& os, const SweepOutcome& o) {
+  const ScenarioConfig& cfg = o.point.config;
+  os << "    {\"label\": \"" << json_escape(o.point.label) << "\", "
+     << "\"vc\": \"" << to_string(cfg.vc) << "\", "
+     << "\"validity\": \"" << to_string(o.point.validity) << "\", "
+     << "\"n\": " << cfg.n << ", \"t\": " << cfg.t << ", "
+     << "\"gst\": " << json_number(cfg.gst) << ", "
+     << "\"delta\": " << json_number(cfg.delta) << ", "
+     << "\"seed\": " << cfg.seed << ", "
+     << "\"faults\": [";
+  bool first = true;
+  for (const auto& [pid, fault] : cfg.faults) {
+    if (!first) os << ", ";
+    first = false;
+    os << "{\"id\": " << pid << ", \"kind\": \"" << to_string(fault.kind)
+       << "\"}";
+  }
+  os << "], ";
+  if (!o.error.empty()) {
+    os << "\"error\": \"" << json_escape(o.error) << "\"}";
+    return;
+  }
+  os << "\"decided\": " << (o.decided ? "true" : "false") << ", "
+     << "\"agreement\": " << (o.agreement ? "true" : "false") << ", "
+     << "\"validity_ok\": " << (o.validity_ok ? "true" : "false") << ", "
+     << "\"decisions\": {";
+  first = true;
+  for (const auto& [pid, v] : o.result.decisions) {
+    if (!first) os << ", ";
+    first = false;
+    os << "\"" << pid << "\": " << v;
+  }
+  os << "}, "
+     << "\"last_decision_time\": " << json_number(o.result.last_decision_time)
+     << ", \"message_complexity\": " << o.result.message_complexity
+     << ", \"word_complexity\": " << o.result.word_complexity
+     << ", \"messages_total\": " << o.result.messages_total
+     << ", \"events\": " << o.result.events << "}";
+}
+
+void write_json(std::ostream& os, const std::string& matrix_name, int jobs,
+                const std::vector<SweepOutcome>& outcomes,
+                const SweepSummary& summary) {
+  os << "{\n  \"matrix\": \"" << matrix_name << "\",\n  \"scenarios\": [\n";
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    write_outcome(os, outcomes[i]);
+    os << (i + 1 < outcomes.size() ? ",\n" : "\n");
+  }
+  os << "  ],\n  \"summary\": {"
+     << "\"total\": " << summary.total << ", \"decided\": " << summary.decided
+     << ", \"agreement_violations\": " << summary.agreement_violations
+     << ", \"validity_violations\": " << summary.validity_violations
+     << ", \"errors\": " << summary.errors
+     << ", \"mean_latency\": " << json_number(summary.mean_latency)
+     << ", \"mean_message_complexity\": "
+     << json_number(summary.mean_message_complexity)
+     << ", \"mean_word_complexity\": "
+     << json_number(summary.mean_word_complexity)
+     << ", \"jobs\": " << jobs
+     << ", \"wall_seconds\": " << json_number(summary.wall_seconds)
+     << ", \"scenarios_per_second\": "
+     << json_number(summary.scenarios_per_second) << "}\n}\n";
+}
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--matrix smoke|full] [--jobs N] [--out FILE] [--quiet]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string matrix_name = "smoke";
+  std::string out_path;
+  int jobs = 1;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--matrix" && i + 1 < argc) {
+      matrix_name = argv[++i];
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      jobs = std::atoi(argv[++i]);
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  std::vector<SweepPoint> points;
+  try {
+    points = named_matrix(matrix_name).build();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+
+  const SweepRunner runner(jobs);
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<SweepOutcome> outcomes = runner.run(points);
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  const SweepSummary summary = SweepRunner::summarize(outcomes, wall);
+
+  std::ostringstream json;
+  write_json(json, matrix_name, runner.jobs(), outcomes, summary);
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "error: cannot open " << out_path << "\n";
+      return 1;
+    }
+    out << json.str();
+  } else {
+    std::cout << json.str();
+  }
+
+  if (!quiet) {
+    Table table({"matrix", "scenarios", "jobs", "decided", "agree-viol",
+                 "valid-viol", "errors", "wall(s)", "scen/s"});
+    table.add_row({matrix_name, std::to_string(summary.total),
+                   std::to_string(runner.jobs()),
+                   std::to_string(summary.decided),
+                   std::to_string(summary.agreement_violations),
+                   std::to_string(summary.validity_violations),
+                   std::to_string(summary.errors), fmt(summary.wall_seconds),
+                   fmt(summary.scenarios_per_second, 1)});
+    table.print(std::cerr);
+  }
+
+  const bool healthy = summary.agreement_violations == 0 &&
+                       summary.validity_violations == 0 &&
+                       summary.errors == 0 && summary.decided == summary.total;
+  return healthy ? 0 : 1;
+}
