@@ -29,7 +29,7 @@ ScenarioConfig scenario(int n, harness::VcKind kind, int silent_prefix) {
   cfg.horizon = 1e15;  // slow broadcast can run for a long simulated time
   for (int p = 0; p < n; ++p) cfg.proposals.push_back(p % 2);
   for (int f = 0; f < silent_prefix; ++f) {
-    cfg.faults[f] = {harness::FaultKind::kSilent, 0.0};
+    cfg.faults[f] = harness::Fault::silent();
   }
   return cfg;
 }

@@ -26,7 +26,7 @@ ScenarioConfig scenario(int n, bool faults, bool echo) {
   for (int p = 0; p < n; ++p) cfg.proposals.push_back(p % 2);
   if (faults) {
     for (int f = 0; f < cfg.t; ++f) {
-      cfg.faults[n - 1 - f] = {harness::FaultKind::kSilent, 0.0};
+      cfg.faults[n - 1 - f] = harness::Fault::silent();
     }
   }
   return cfg;

@@ -27,8 +27,8 @@ int main() {
   cfg.t = t;
   cfg.vc = harness::VcKind::kAuthenticated;
   cfg.proposals = {4, 1, 3, 1, 0, 2, 1};
-  cfg.faults[5] = {harness::FaultKind::kSilent, 0.0};
-  cfg.faults[6] = {harness::FaultKind::kSilent, 0.0};
+  cfg.faults[5] = harness::Fault::silent();
+  cfg.faults[6] = harness::Fault::silent();
 
   InputConfig real(n);
   for (ProcessId p = 0; p < n; ++p) {

@@ -20,7 +20,7 @@ int main() {
   cfg.t = 1;
   cfg.vc = harness::VcKind::kAuthenticated;  // Algorithm 1: O(n^2) messages
   cfg.proposals = {7, 7, 7, 7};              // everyone proposes 7
-  cfg.faults[3] = {harness::FaultKind::kSilent, 0.0};  // P3 is Byzantine
+  cfg.faults[3] = harness::Fault::silent();  // P3 is Byzantine
 
   // 2. Pick a validity property and derive its Λ function (Definition 2).
   const core::StrongValidity validity;

@@ -8,7 +8,7 @@
 #include "valcon/consensus/auth_vector_consensus.hpp"
 #include "valcon/consensus/fast_vector_consensus.hpp"
 #include "valcon/consensus/nonauth_vector_consensus.hpp"
-#include "valcon/sim/adversary.hpp"
+#include "valcon/harness/strategy.hpp"
 
 namespace valcon::harness {
 
@@ -17,16 +17,6 @@ std::string to_string(VcKind kind) {
     case VcKind::kAuthenticated: return "auth(Alg1)";
     case VcKind::kNonAuthenticated: return "nonauth(Alg3)";
     case VcKind::kFast: return "fast(Alg6)";
-  }
-  return "?";
-}
-
-std::string to_string(FaultKind kind) {
-  switch (kind) {
-    case FaultKind::kSilent: return "silent";
-    case FaultKind::kCrash: return "crash";
-    case FaultKind::kEquivocate: return "equivocate";
-    case FaultKind::kDelay: return "delay";
   }
   return "?";
 }
@@ -102,10 +92,9 @@ void validate(const ScenarioConfig& cfg) {
       fail("fault id " + std::to_string(pid) + " outside [0, " +
            std::to_string(cfg.n) + ")");
     }
-    if (fault.kind == FaultKind::kCrash && fault.crash_time < 0) {
-      fail("crash_time for process " + std::to_string(pid) +
-           " must be >= 0");
-    }
+    // Strategy resolution throws for unknown names; the strategy's own hook
+    // checks its parameters.
+    StrategyRegistry::global().make(fault.strategy)->validate(fault, cfg);
   }
   if (cfg.delta <= 0) fail("delta must be positive");
   if (cfg.gst < 0) fail("gst must be >= 0");
@@ -127,63 +116,51 @@ RunResult run_universal(const ScenarioConfig& cfg,
   auto result = std::make_shared<RunResult>();
   auto correct_decided = std::make_shared<int>(0);
 
+  // Builds the same full Universal stack a correct process runs, proposing
+  // `v`. `record` wires its decisions into the RunResult (they are pruned
+  // from the correctness-facing views at the end if the process is faulty);
+  // a non-recorded stack discards them (equivocation faces etc.).
+  const auto make_stack = [&](Value v, bool record, bool is_correct) {
+    auto on_decide =
+        record ? core::Universal::DecideCb(
+                     [result, correct_decided, is_correct](sim::Context& ctx,
+                                                           Value decided) {
+                       result->decisions[ctx.id()] = decided;
+                       result->decide_times[ctx.id()] = ctx.now();
+                       result->last_decision_time =
+                           std::max(result->last_decision_time, ctx.now());
+                       if (is_correct) ++*correct_decided;
+                     })
+               : core::Universal::DecideCb([](sim::Context&, Value) {});
+    return std::make_unique<sim::ComponentHost>(
+        make_universal(cfg, v, lambda, std::move(on_decide)));
+  };
+
   for (ProcessId p = 0; p < cfg.n; ++p) {
     const auto fault = cfg.faults.find(p);
-    if (fault != cfg.faults.end() && fault->second.kind == FaultKind::kSilent) {
-      simulator.mark_faulty(p);
-      simulator.add_process(p, std::make_unique<sim::SilentProcess>());
-      continue;
-    }
-    if (fault != cfg.faults.end() &&
-        fault->second.kind == FaultKind::kEquivocate) {
-      // Split-brain equivocation (the Lemma 2 adversary): two independent
-      // correct stacks with conflicting proposals, each confined to its
-      // half of the process set.
-      simulator.mark_faulty(p);
-      auto face0 = std::make_unique<sim::ComponentHost>(make_universal(
-          cfg, cfg.proposals[static_cast<std::size_t>(p)], lambda,
-          [](sim::Context&, Value) {}));
-      auto face1 = std::make_unique<sim::ComponentHost>(
-          make_universal(cfg, fault->second.equivocal_value, lambda,
-                         [](sim::Context&, Value) {}));
-      const int half = cfg.n / 2;
+    if (fault == cfg.faults.end()) {
       simulator.add_process(
-          p, std::make_unique<sim::TwoFacedProcess>(
-                 std::move(face0), std::move(face1),
-                 [half](ProcessId q) { return q < half ? 0 : 1; }));
+          p, make_stack(cfg.proposals[static_cast<std::size_t>(p)],
+                        /*record=*/true, /*is_correct=*/true));
       continue;
     }
-    const bool is_correct = fault == cfg.faults.end();
-    auto universal = make_universal(
-        cfg, cfg.proposals[static_cast<std::size_t>(p)], lambda,
-        [result, correct_decided, p, is_correct](sim::Context& ctx, Value v) {
-          result->decisions[p] = v;
-          result->decide_times[p] = ctx.now();
-          result->last_decision_time =
-              std::max(result->last_decision_time, ctx.now());
-          if (is_correct) ++*correct_decided;
-        });
-    std::unique_ptr<sim::Process> process =
-        std::make_unique<sim::ComponentHost>(std::move(universal));
-    if (fault != cfg.faults.end() && fault->second.kind == FaultKind::kCrash) {
-      simulator.mark_faulty(p);
-      process = std::make_unique<sim::CrashShim>(std::move(process),
-                                                 fault->second.crash_time);
-    }
-    if (fault != cfg.faults.end() && fault->second.kind == FaultKind::kDelay) {
-      // The process itself behaves correctly; the adversary holds all its
-      // outbound links (the self-link models local computation and stays
-      // prompt) until release_time, clipped by the network to the model
-      // bound max(send, GST) + delta.
-      simulator.mark_faulty(p);
-      const Time release = fault->second.release_time >= 0
-                               ? fault->second.release_time
-                               : cfg.gst + cfg.delta;
-      for (ProcessId q = 0; q < cfg.n; ++q) {
-        if (q != p) simulator.network().hold(p, q, release);
-      }
-    }
-    simulator.add_process(p, std::move(process));
+    simulator.mark_faulty(p);
+    StrategyEnv env{
+        cfg,
+        fault->second,
+        p,
+        simulator,
+        /*recorded_stack=*/
+        [&make_stack](Value v) {
+          return make_stack(v, /*record=*/true, /*is_correct=*/false);
+        },
+        /*shadow_stack=*/
+        [&make_stack](Value v) {
+          return make_stack(v, /*record=*/false, /*is_correct=*/false);
+        },
+    };
+    simulator.add_process(
+        p, StrategyRegistry::global().make(fault->second.strategy)->build(env));
   }
 
   // Run to quiescence, but once every correct process has decided only let

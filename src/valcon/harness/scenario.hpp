@@ -25,24 +25,82 @@ enum class VcKind {
 
 [[nodiscard]] std::string to_string(VcKind kind);
 
-enum class FaultKind {
-  kSilent,      // canonical behavior: no computational steps at all
-  kCrash,       // correct until crash_time, then silent
-  kEquivocate,  // split-brain: two full correct stacks, one per half of the
-                // process set, proposing the configured value to the lower
-                // half and equivocal_value to the upper half
-  kDelay,       // correct behavior, but every outbound link (except the
-                // self-link) is held until release_time — messages sent
-                // before GST surface only afterwards
-};
-
-[[nodiscard]] std::string to_string(FaultKind kind);
-
+/// One fault assignment: the name of a registered adversary strategy
+/// (harness/strategy.hpp) plus its parameters. Built-in strategies:
+///
+///   "silent"               — no computational steps at all
+///   "crash"                — correct until crash_time, then silent
+///   "equivocate"           — split-brain: two full correct stacks, one per
+///                            half of the process set, proposing the
+///                            configured value to the lower half and
+///                            equivocal_value to the upper half
+///   "delay"                — correct behavior, but every outbound link
+///                            (except the self-link) is held until
+///                            release_time — messages sent before GST
+///                            surface only afterwards
+///   "mutate"               — correct stack whose outbound messages are
+///                            randomly dropped / garbled / duplicated with
+///                            probability mutate_rate
+///   "equivocate-scheduled" — everyone sees face 0 until switch_time, then
+///                            the upper half is switched to a second stack
+///                            proposing equivocal_value
+///   "adaptive"             — correct stack that watches inbound traffic
+///                            and, after `observe` deliveries, permanently
+///                            omits sends to the `victims` busiest senders
+///
+/// Unused parameters are ignored by a strategy; custom strategies may reuse
+/// any of them.
 struct Fault {
-  FaultKind kind = FaultKind::kSilent;
-  Time crash_time = 0.0;      // kCrash: stop taking steps at this time
-  Value equivocal_value = 0;  // kEquivocate: proposal shown to the upper half
-  Time release_time = -1.0;   // kDelay: hold-until; < 0 means gst + delta
+  std::string strategy = "silent";
+  Time crash_time = 0.0;      // crash: stop taking steps at this time
+  Value equivocal_value = 0;  // equivocate*: proposal shown to the upper half
+  Time release_time = -1.0;   // delay: hold-until; < 0 means gst + delta
+  double mutate_rate = 0.25;  // mutate: per-message tamper probability
+  Time switch_time = -1.0;    // equivocate-scheduled: < 0 means gst
+  int victims = 1;            // adaptive: number of victims to silence
+  int observe = 8;            // adaptive: deliveries watched before choosing
+
+  // Shorthands for the built-in strategies.
+  [[nodiscard]] static Fault silent() { return {}; }
+  [[nodiscard]] static Fault crash(Time when) {
+    Fault f;
+    f.strategy = "crash";
+    f.crash_time = when;
+    return f;
+  }
+  [[nodiscard]] static Fault equivocate(Value other) {
+    Fault f;
+    f.strategy = "equivocate";
+    f.equivocal_value = other;
+    return f;
+  }
+  [[nodiscard]] static Fault delay(Time release = -1.0) {
+    Fault f;
+    f.strategy = "delay";
+    f.release_time = release;
+    return f;
+  }
+  [[nodiscard]] static Fault mutate(double rate = 0.25) {
+    Fault f;
+    f.strategy = "mutate";
+    f.mutate_rate = rate;
+    return f;
+  }
+  [[nodiscard]] static Fault scheduled_equivocate(Value other,
+                                                  Time switch_at = -1.0) {
+    Fault f;
+    f.strategy = "equivocate-scheduled";
+    f.equivocal_value = other;
+    f.switch_time = switch_at;
+    return f;
+  }
+  [[nodiscard]] static Fault adaptive(int victims = 1, int observe = 8) {
+    Fault f;
+    f.strategy = "adaptive";
+    f.victims = victims;
+    f.observe = observe;
+    return f;
+  }
 };
 
 struct ScenarioConfig {
@@ -85,7 +143,8 @@ struct RunResult {
 
 /// Throws std::invalid_argument unless cfg is well-formed: n > 0,
 /// 0 <= t < n, one proposal per process, at most t faults, every fault id
-/// in [0, n), delta > 0, gst >= 0 and horizon > 0.
+/// in [0, n), every fault strategy registered (with valid parameters, per
+/// the strategy's own validate hook), delta > 0, gst >= 0 and horizon > 0.
 void validate(const ScenarioConfig& cfg);
 
 /// Runs Universal end to end with the given Λ. Validates cfg first (see

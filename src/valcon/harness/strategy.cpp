@@ -1,0 +1,190 @@
+#include "valcon/harness/strategy.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "valcon/sim/adversary.hpp"
+
+namespace valcon::harness {
+
+namespace {
+
+[[noreturn]] void bad_param(const std::string& strategy,
+                            const std::string& what) {
+  throw std::invalid_argument("strategy '" + strategy + "': " + what);
+}
+
+/// "silent" — no computational steps at all (canonical executions, §3.1).
+class SilentStrategy final : public Strategy {
+ public:
+  std::unique_ptr<sim::Process> build(const StrategyEnv&) const override {
+    return std::make_unique<sim::SilentProcess>();
+  }
+};
+
+/// "crash" — correct until fault.crash_time, then silent.
+class CrashStrategy final : public Strategy {
+ public:
+  std::unique_ptr<sim::Process> build(const StrategyEnv& env) const override {
+    return std::make_unique<sim::CrashShim>(
+        env.recorded_stack(env.own_proposal()), env.fault.crash_time);
+  }
+  void validate(const Fault& fault, const ScenarioConfig&) const override {
+    if (fault.crash_time < 0) bad_param("crash", "crash_time must be >= 0");
+  }
+};
+
+/// "equivocate" — the Lemma 2 partitioning adversary: two independent
+/// correct stacks with conflicting proposals, each confined to its half of
+/// the process set (lower half sees the own proposal, upper half sees
+/// fault.equivocal_value).
+class EquivocateStrategy final : public Strategy {
+ public:
+  std::unique_ptr<sim::Process> build(const StrategyEnv& env) const override {
+    const int half = env.cfg.n / 2;
+    return std::make_unique<sim::TwoFacedProcess>(
+        env.shadow_stack(env.own_proposal()),
+        env.shadow_stack(env.fault.equivocal_value),
+        [half](ProcessId q) { return q < half ? 0 : 1; });
+  }
+};
+
+/// "delay" — the process itself behaves correctly; the adversary holds all
+/// its outbound links (the self-link models local computation and stays
+/// prompt) until release_time, clipped by the network to the model bound
+/// max(send, GST) + delta.
+class DelayStrategy final : public Strategy {
+ public:
+  std::unique_ptr<sim::Process> build(const StrategyEnv& env) const override {
+    const Time release = env.fault.release_time >= 0
+                             ? env.fault.release_time
+                             : env.cfg.gst + env.cfg.delta;
+    for (ProcessId q = 0; q < env.cfg.n; ++q) {
+      if (q != env.self) env.sim.network().hold(env.self, q, release);
+    }
+    return env.recorded_stack(env.own_proposal());
+  }
+};
+
+/// "mutate" — correct stack whose outbound messages are tampered with
+/// probability fault.mutate_rate (drop / garble / duplicate).
+class MutateStrategy final : public Strategy {
+ public:
+  std::unique_ptr<sim::Process> build(const StrategyEnv& env) const override {
+    return std::make_unique<sim::MutatingShim>(
+        env.recorded_stack(env.own_proposal()), env.fault.mutate_rate);
+  }
+  void validate(const Fault& fault, const ScenarioConfig&) const override {
+    if (fault.mutate_rate < 0.0 || fault.mutate_rate > 1.0) {
+      bad_param("mutate", "mutate_rate must be in [0, 1]");
+    }
+  }
+};
+
+/// "equivocate-scheduled" — everyone sees face 0 (own proposal) until
+/// fault.switch_time (< 0 resolves to GST); from then on the upper half is
+/// handled by a second stack proposing fault.equivocal_value, which joins
+/// the run late with conflicting state.
+class ScheduledEquivocateStrategy final : public Strategy {
+ public:
+  std::unique_ptr<sim::Process> build(const StrategyEnv& env) const override {
+    const Time switch_at =
+        env.fault.switch_time >= 0 ? env.fault.switch_time : env.cfg.gst;
+    const int half = env.cfg.n / 2;
+    return std::make_unique<sim::TwoFacedProcess>(
+        env.shadow_stack(env.own_proposal()),
+        env.shadow_stack(env.fault.equivocal_value),
+        sim::TwoFacedProcess::TimedSide(
+            [half, switch_at](ProcessId q, Time now) {
+              return (now >= switch_at && q >= half) ? 1 : 0;
+            }));
+  }
+};
+
+/// "adaptive" — correct stack that counts inbound deliveries and, after
+/// fault.observe of them, permanently omits sends to the fault.victims
+/// busiest senders.
+class AdaptiveStrategy final : public Strategy {
+ public:
+  std::unique_ptr<sim::Process> build(const StrategyEnv& env) const override {
+    return std::make_unique<sim::AdaptiveOmitShim>(
+        env.recorded_stack(env.own_proposal()), env.fault.victims,
+        env.fault.observe);
+  }
+  void validate(const Fault& fault, const ScenarioConfig&) const override {
+    if (fault.victims < 0) bad_param("adaptive", "victims must be >= 0");
+    if (fault.observe < 0) bad_param("adaptive", "observe must be >= 0");
+  }
+};
+
+template <typename T>
+void add_builtin(StrategyRegistry& registry, const std::string& name) {
+  registry.add(name, [] { return std::make_unique<T>(); });
+}
+
+}  // namespace
+
+StrategyRegistry& StrategyRegistry::global() {
+  static StrategyRegistry* registry = [] {
+    auto* r = new StrategyRegistry();
+    add_builtin<SilentStrategy>(*r, "silent");
+    add_builtin<CrashStrategy>(*r, "crash");
+    add_builtin<EquivocateStrategy>(*r, "equivocate");
+    add_builtin<DelayStrategy>(*r, "delay");
+    add_builtin<MutateStrategy>(*r, "mutate");
+    add_builtin<ScheduledEquivocateStrategy>(*r, "equivocate-scheduled");
+    add_builtin<AdaptiveStrategy>(*r, "adaptive");
+    return r;
+  }();
+  return *registry;
+}
+
+void StrategyRegistry::add(const std::string& name, Factory factory) {
+  if (name.empty()) {
+    throw std::invalid_argument("StrategyRegistry: empty strategy name");
+  }
+  if (!factory) {
+    throw std::invalid_argument("StrategyRegistry: null factory for '" +
+                                name + "'");
+  }
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (!factories_.emplace(name, std::move(factory)).second) {
+    throw std::invalid_argument("StrategyRegistry: '" + name +
+                                "' is already registered");
+  }
+}
+
+bool StrategyRegistry::contains(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return factories_.count(name) != 0;
+}
+
+std::unique_ptr<Strategy> StrategyRegistry::make(
+    const std::string& name) const {
+  Factory factory;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = factories_.find(name);
+    if (it != factories_.end()) factory = it->second;
+  }
+  if (!factory) {
+    std::string known;
+    for (const std::string& n : names()) {
+      if (!known.empty()) known += ", ";
+      known += n;
+    }
+    throw std::invalid_argument("unknown adversary strategy '" + name +
+                                "' (registered: " + known + ")");
+  }
+  return factory();
+}
+
+std::vector<std::string> StrategyRegistry::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) out.push_back(name);
+  return out;  // std::map iteration is already sorted
+}
+
+}  // namespace valcon::harness

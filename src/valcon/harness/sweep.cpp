@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "valcon/core/lambda.hpp"
+#include "valcon/harness/strategy.hpp"
 #include "valcon/harness/table.hpp"
 
 namespace valcon::harness {
@@ -44,7 +45,7 @@ std::string FaultSpec::label(int t) const {
   // of faults actually injected.
   const int resolved = count < 0 ? t : std::min(count, t);
   if (resolved == 0) return "none";
-  return to_string(kind) + "x" + std::to_string(resolved);
+  return strategy + "x" + std::to_string(resolved);
 }
 
 ScenarioMatrix& ScenarioMatrix::vc_kinds(std::vector<VcKind> v) {
@@ -57,6 +58,37 @@ ScenarioMatrix& ScenarioMatrix::validities(std::vector<ValidityKind> v) {
 }
 ScenarioMatrix& ScenarioMatrix::faults(std::vector<FaultSpec> v) {
   faults_ = std::move(v);
+  return *this;
+}
+ScenarioMatrix& ScenarioMatrix::keep_strategies(
+    const std::vector<std::string>& keep) {
+  for (const std::string& name : keep) {
+    if (name != "none" && !StrategyRegistry::global().contains(name)) {
+      // make() throws with the list of registered names.
+      static_cast<void>(StrategyRegistry::global().make(name));
+    }
+  }
+  std::vector<FaultSpec> kept;
+  for (const FaultSpec& spec : faults_) {
+    if (std::find(keep.begin(), keep.end(), spec.effective_strategy()) !=
+        keep.end()) {
+      kept.push_back(spec);
+    }
+  }
+  // Every requested name must select at least one spec: a registered
+  // strategy absent from this matrix would otherwise be dropped silently
+  // and the caller would believe it was swept.
+  for (const std::string& name : keep) {
+    const bool matched =
+        std::any_of(kept.begin(), kept.end(), [&name](const FaultSpec& spec) {
+          return spec.effective_strategy() == name;
+        });
+    if (!matched) {
+      throw std::invalid_argument("strategy '" + name +
+                                  "' matches no fault spec in this matrix");
+    }
+  }
+  faults_ = std::move(kept);
   return *this;
 }
 ScenarioMatrix& ScenarioMatrix::sizes(std::vector<std::pair<int, int>> nt) {
@@ -122,8 +154,8 @@ std::vector<SweepPoint> ScenarioMatrix::build() const {
                     std::min(spec.count < 0 ? t : spec.count, t);
                 for (int f = 0; f < count; ++f) {
                   const ProcessId pid = n - 1 - f;
-                  Fault fault;
-                  fault.kind = spec.kind;
+                  Fault fault;  // negative spec fields keep the defaults
+                  fault.strategy = spec.strategy;
                   fault.crash_time =
                       spec.crash_time < 0 ? gst : spec.crash_time;
                   fault.release_time = spec.release_time;
@@ -132,6 +164,12 @@ std::vector<SweepPoint> ScenarioMatrix::build() const {
                           ? (cfg.proposals[static_cast<std::size_t>(pid)] +
                              1) % domain_
                           : spec.equivocal_value;
+                  if (spec.mutate_rate >= 0) {
+                    fault.mutate_rate = spec.mutate_rate;
+                  }
+                  fault.switch_time = spec.switch_time;
+                  if (spec.victims >= 0) fault.victims = spec.victims;
+                  if (spec.observe >= 0) fault.observe = spec.observe;
                   cfg.faults[pid] = fault;
                 }
                 SweepPoint point;
@@ -251,18 +289,21 @@ SweepSummary SweepRunner::summarize(const std::vector<SweepOutcome>& outcomes,
 ScenarioMatrix named_matrix(const std::string& name) {
   const std::vector<VcKind> all_vcs{VcKind::kAuthenticated,
                                     VcKind::kNonAuthenticated, VcKind::kFast};
-  const std::vector<FaultSpec> all_faults{
-      FaultSpec{FaultKind::kSilent, 0, -1.0, -1.0, -1},  // fault-free
-      FaultSpec{FaultKind::kSilent, -1, -1.0, -1.0, -1},
-      FaultSpec{FaultKind::kCrash, -1, -1.0, -1.0, -1},
-      FaultSpec{FaultKind::kEquivocate, -1, -1.0, -1.0, -1},
-      FaultSpec{FaultKind::kDelay, -1, -1.0, -1.0, -1},
+  // The four legacy FaultKind patterns (plus fault-free), in the historical
+  // order: "full" built from these is the pinned determinism reference, so
+  // neither the order nor the contents may change.
+  const std::vector<FaultSpec> legacy_faults{
+      FaultSpec{"silent", 0},  // fault-free
+      FaultSpec{"silent"},
+      FaultSpec{"crash"},
+      FaultSpec{"equivocate"},
+      FaultSpec{"delay"},
   };
   if (name == "smoke") {
     return ScenarioMatrix()
         .vc_kinds(all_vcs)
         .validities({ValidityKind::kStrong})
-        .faults(all_faults)
+        .faults(legacy_faults)
         .sizes({{4, 1}})
         .seeds({1, 2});
   }
@@ -271,13 +312,26 @@ ScenarioMatrix named_matrix(const std::string& name) {
         .vc_kinds(all_vcs)
         .validities({ValidityKind::kStrong, ValidityKind::kWeak,
                      ValidityKind::kMedian, ValidityKind::kConvexHull})
-        .faults(all_faults)
+        .faults(legacy_faults)
         .sizes({{4, 1}, {7, 2}})
         .gsts({0.0, 5.0})
         .seeds({1, 2, 3});
   }
+  if (name == "byzantine") {
+    std::vector<FaultSpec> specs = legacy_faults;
+    specs.push_back(FaultSpec{"mutate"});
+    specs.push_back(FaultSpec{"equivocate-scheduled"});
+    specs.push_back(FaultSpec{"adaptive"});
+    return ScenarioMatrix()
+        .vc_kinds(all_vcs)
+        .validities({ValidityKind::kStrong})
+        .faults(std::move(specs))
+        .sizes({{4, 1}})
+        .gsts({0.0, 5.0})
+        .seeds({1, 2});
+  }
   throw std::invalid_argument("unknown matrix '" + name +
-                              "' (expected: smoke, full)");
+                              "' (expected: smoke, full, byzantine)");
 }
 
 }  // namespace valcon::harness

@@ -33,19 +33,31 @@ enum class ValidityKind {
     ValidityKind kind, int n, int t);
 
 /// One fault pattern of the matrix: `count` processes (the highest ids)
-/// fail in the same way. `count` is clamped to each scenario's t, so one
-/// spec can cross several (n, t) sizes. Negative fields resolve
-/// per-scenario: count < 0 -> t, crash_time < 0 -> gst,
+/// fail with the same registered adversary strategy. `count` is clamped to
+/// each scenario's t, so one spec can cross several (n, t) sizes. Negative
+/// fields resolve per-scenario: count < 0 -> t, crash_time < 0 -> gst,
 /// release_time < 0 -> gst + delta, equivocal_value < 0 -> own proposal + 1
-/// (mod proposal domain).
+/// (mod proposal domain), mutate_rate / switch_time / victims / observe
+/// < 0 -> the Fault defaults (see harness/scenario.hpp).
 struct FaultSpec {
-  FaultKind kind = FaultKind::kSilent;
+  std::string strategy = "silent";
   int count = -1;
   Time crash_time = -1.0;
   Time release_time = -1.0;
   Value equivocal_value = -1;
+  double mutate_rate = -1.0;
+  Time switch_time = -1.0;
+  int victims = -1;
+  int observe = -1;
 
+  /// "none" for a zero-fault spec, else e.g. "crashx2".
   [[nodiscard]] std::string label(int t) const;
+
+  /// The name label() uses: "none" when the spec injects no faults (so a
+  /// fault-free spec can be selected by name), else the strategy.
+  [[nodiscard]] std::string effective_strategy() const {
+    return count == 0 ? "none" : strategy;
+  }
 };
 
 /// One cell of the matrix: a fully resolved scenario plus the property to
@@ -64,6 +76,12 @@ class ScenarioMatrix {
   ScenarioMatrix& vc_kinds(std::vector<VcKind> v);
   ScenarioMatrix& validities(std::vector<ValidityKind> v);
   ScenarioMatrix& faults(std::vector<FaultSpec> v);
+  /// Keeps only the fault specs whose effective strategy name is in `keep`
+  /// ("none" selects the fault-free spec). Throws std::invalid_argument for
+  /// a name that is neither "none" nor registered, and for a name that
+  /// selects no spec of this matrix (nothing requested may be dropped
+  /// silently) — this is what `valcon_sweep --strategies` calls.
+  ScenarioMatrix& keep_strategies(const std::vector<std::string>& keep);
   /// (n, t) pairs; every pair must satisfy 0 <= t < n.
   ScenarioMatrix& sizes(std::vector<std::pair<int, int>> nt);
   ScenarioMatrix& gsts(std::vector<Time> v);
@@ -138,10 +156,15 @@ class SweepRunner {
 };
 
 /// Named matrices shared by the CLI and the bench:
-///   "smoke" — all stacks x all fault kinds, n=4 (quick check);
-///   "full"  — all stacks x {Strong, Weak, Median, ConvexHull} x all fault
-///             kinds (plus fault-free) x {(4,1), (7,2)} x two GSTs x three
-///             seeds: 720 scenarios.
+///   "smoke"     — all stacks x the four legacy strategies, n=4 (quick
+///                 check);
+///   "full"      — all stacks x {Strong, Weak, Median, ConvexHull} x the
+///                 four legacy strategies (plus fault-free) x {(4,1),
+///                 (7,2)} x two GSTs x three seeds: 720 scenarios (pinned:
+///                 its per-scenario JSON is the cross-version determinism
+///                 reference);
+///   "byzantine" — all stacks x every built-in strategy (plus fault-free),
+///                 n=4, two seeds: the strategy-coverage matrix.
 /// Throws std::invalid_argument for unknown names.
 [[nodiscard]] ScenarioMatrix named_matrix(const std::string& name);
 

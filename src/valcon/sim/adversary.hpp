@@ -1,4 +1,5 @@
-// Byzantine behaviors used by the paper's proof constructions.
+// Byzantine behaviors used by the paper's proof constructions and by the
+// harness adversary strategies (harness/strategy.hpp).
 //
 //  * SilentProcess     — crashes at time 0 (canonical executions, §3.1: "no
 //                        faulty process takes any computational step").
@@ -10,12 +11,24 @@
 //                        runs two independent copies of a correct protocol,
 //                        one facing each partition side, so each side
 //                        observes a consistent-looking (but equivocating)
-//                        participant.
+//                        participant. The side assignment may depend on the
+//                        current time, which expresses scheduled
+//                        equivocation (switch faces at a chosen instant).
+//  * MutatingShim      — arbitrary payload tampering: outbound messages are
+//                        randomly dropped, replaced by unrecognizable
+//                        garbage, or duplicated.
+//  * AdaptiveOmitShim  — adaptive corruption: observes inbound traffic and
+//                        silences itself towards the most talkative senders.
+//
+// All randomness flows through the per-process Rng of the Context, so every
+// behavior is a deterministic function of (configuration, seed).
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -76,36 +89,20 @@ class MessageDropShim final : public Process {
   }
 
  private:
-  class FilterCtx final : public Context {
+  class FilterCtx final : public ForwardingContext {
    public:
     FilterCtx(MessageDropShim* shim, Context& base)
-        : shim_(shim), base_(base) {}
+        : ForwardingContext(base), shim_(shim) {}
 
-    [[nodiscard]] Time now() const override { return base_.now(); }
-    [[nodiscard]] ProcessId id() const override { return base_.id(); }
-    [[nodiscard]] int n() const override { return base_.n(); }
-    [[nodiscard]] int t() const override { return base_.t(); }
-    [[nodiscard]] Time delta() const override { return base_.delta(); }
     void send(ProcessId to, PayloadPtr payload) override {
       for (ProcessId omit : shim_->omit_to_) {
         if (omit == to) return;
       }
-      base_.send(to, std::move(payload));
+      ForwardingContext::send(to, std::move(payload));
     }
-    void set_timer(Time delay, std::uint64_t tag) override {
-      base_.set_timer(delay, tag);
-    }
-    [[nodiscard]] const crypto::KeyRegistry& keys() const override {
-      return base_.keys();
-    }
-    [[nodiscard]] const crypto::Signer& signer() const override {
-      return base_.signer();
-    }
-    [[nodiscard]] Rng& rng() override { return base_.rng(); }
 
    private:
     MessageDropShim* shim_;
-    Context& base_;
   };
 
   std::unique_ptr<Process> inner_;
@@ -113,9 +110,10 @@ class MessageDropShim final : public Process {
   std::vector<ProcessId> omit_to_;
 };
 
-/// Split-brain equivocator. `side(p)` assigns every process to face 0 or 1;
-/// inbound messages are routed to the matching inner copy, and each copy's
-/// outbound traffic is confined to its own side. Timers are tagged per face.
+/// Split-brain equivocator. `side(p, now)` assigns every process to face 0
+/// or 1 (possibly changing over time — scheduled equivocation); inbound
+/// messages are routed to the matching inner copy, and each copy's outbound
+/// traffic is confined to its own side. Timers are tagged per face.
 class TwoFacedProcess final : public Process {
  public:
   /// Wrapper for self-addressed messages so they return to the same face.
@@ -131,9 +129,18 @@ class TwoFacedProcess final : public Process {
     PayloadPtr inner;
   };
 
+  using Side = std::function<int(ProcessId)>;
+  using TimedSide = std::function<int(ProcessId, Time)>;
+
   TwoFacedProcess(std::unique_ptr<Process> face0,
-                  std::unique_ptr<Process> face1,
-                  std::function<int(ProcessId)> side)
+                  std::unique_ptr<Process> face1, Side side)
+      : TwoFacedProcess(std::move(face0), std::move(face1),
+                        TimedSide([side = std::move(side)](ProcessId p, Time) {
+                          return side(p);
+                        })) {}
+
+  TwoFacedProcess(std::unique_ptr<Process> face0,
+                  std::unique_ptr<Process> face1, TimedSide side)
       : side_(std::move(side)) {
     faces_[0] = std::move(face0);
     faces_[1] = std::move(face1);
@@ -153,7 +160,7 @@ class TwoFacedProcess final : public Process {
                                                                self->inner);
       return;
     }
-    const int f = side_(from);
+    const int f = side_(from, ctx.now());
     FaceCtx fctx(this, ctx, f);
     faces_[static_cast<std::size_t>(f)]->on_message(fctx, from, m);
   }
@@ -165,43 +172,175 @@ class TwoFacedProcess final : public Process {
   }
 
  private:
-  class FaceCtx final : public Context {
+  class FaceCtx final : public ForwardingContext {
    public:
     FaceCtx(TwoFacedProcess* shim, Context& base, int face)
-        : shim_(shim), base_(base), face_(face) {}
+        : ForwardingContext(base), shim_(shim), face_(face) {}
 
-    [[nodiscard]] Time now() const override { return base_.now(); }
-    [[nodiscard]] ProcessId id() const override { return base_.id(); }
-    [[nodiscard]] int n() const override { return base_.n(); }
-    [[nodiscard]] int t() const override { return base_.t(); }
-    [[nodiscard]] Time delta() const override { return base_.delta(); }
     void send(ProcessId to, PayloadPtr payload) override {
-      if (to == base_.id()) {
-        base_.send(to, make_payload<FacedSelfMsg>(face_, std::move(payload)));
+      if (to == id()) {
+        ForwardingContext::send(
+            to, make_payload<FacedSelfMsg>(face_, std::move(payload)));
         return;
       }
-      if (shim_->side_(to) != face_) return;
-      base_.send(to, std::move(payload));
+      if (shim_->side_(to, now()) != face_) return;
+      ForwardingContext::send(to, std::move(payload));
     }
     void set_timer(Time delay, std::uint64_t tag) override {
-      base_.set_timer(delay, (tag << 1) | static_cast<std::uint64_t>(face_));
+      ForwardingContext::set_timer(
+          delay, (tag << 1) | static_cast<std::uint64_t>(face_));
     }
-    [[nodiscard]] const crypto::KeyRegistry& keys() const override {
-      return base_.keys();
-    }
-    [[nodiscard]] const crypto::Signer& signer() const override {
-      return base_.signer();
-    }
-    [[nodiscard]] Rng& rng() override { return base_.rng(); }
 
    private:
     TwoFacedProcess* shim_;
-    Context& base_;
     int face_;
   };
 
   std::array<std::unique_ptr<Process>, 2> faces_;
-  std::function<int(ProcessId)> side_;
+  TimedSide side_;
+};
+
+/// Unrecognizable protocol message: no component dynamic_casts to it, so
+/// receivers must (and do) ignore it. Used by MutatingShim to model
+/// arbitrary payload corruption while keeping word accounting honest.
+struct GarbagePayload final : Payload {
+  explicit GarbagePayload(std::size_t words) : words_(words == 0 ? 1 : words) {}
+  [[nodiscard]] const char* type_name() const override {
+    return "adversary/garbage";
+  }
+  [[nodiscard]] std::size_t size_words() const override { return words_; }
+
+ private:
+  std::size_t words_;
+};
+
+/// Arbitrary payload mutation: wraps a correct process; each outbound
+/// message is tampered with probability `rate` — dropped, replaced by a
+/// GarbagePayload of the same word size, or sent twice, chosen uniformly
+/// from the per-process Rng (deterministic per (config, seed)).
+class MutatingShim final : public Process {
+ public:
+  MutatingShim(std::unique_ptr<Process> inner, double rate)
+      : inner_(std::move(inner)), rate_(rate) {}
+
+  void on_start(Context& ctx) override {
+    MutCtx mctx(this, ctx);
+    inner_->on_start(mctx);
+  }
+  void on_message(Context& ctx, ProcessId from, const PayloadPtr& m) override {
+    MutCtx mctx(this, ctx);
+    inner_->on_message(mctx, from, m);
+  }
+  void on_timer(Context& ctx, std::uint64_t tag) override {
+    MutCtx mctx(this, ctx);
+    inner_->on_timer(mctx, tag);
+  }
+
+ private:
+  class MutCtx final : public ForwardingContext {
+   public:
+    MutCtx(MutatingShim* shim, Context& base)
+        : ForwardingContext(base), shim_(shim) {}
+
+    void send(ProcessId to, PayloadPtr payload) override {
+      if (rng().uniform(0.0, 1.0) >= shim_->rate_) {
+        ForwardingContext::send(to, std::move(payload));
+        return;
+      }
+      switch (rng().next_below(3)) {
+        case 0:  // omission
+          return;
+        case 1:  // corruption
+          ForwardingContext::send(
+              to, make_payload<GarbagePayload>(payload->size_words()));
+          return;
+        default:  // duplication
+          ForwardingContext::send(to, payload);
+          ForwardingContext::send(to, std::move(payload));
+          return;
+      }
+    }
+
+   private:
+    MutatingShim* shim_;
+  };
+
+  std::unique_ptr<Process> inner_;
+  double rate_;
+};
+
+/// Adaptive corruption: behaves correctly while counting inbound messages
+/// per sender; once `observe` messages have been seen it picks the
+/// `victims` most talkative senders (ties broken towards lower ids) and
+/// permanently stops sending to them — an adversary that targets whoever is
+/// driving progress. Victim choice depends only on the delivery order, so
+/// it is deterministic per (config, seed).
+class AdaptiveOmitShim final : public Process {
+ public:
+  AdaptiveOmitShim(std::unique_ptr<Process> inner, int victims, int observe)
+      : inner_(std::move(inner)),
+        victims_(victims),
+        observe_remaining_(observe) {
+    if (observe_remaining_ <= 0) chosen_ = true;  // victims picked lazily
+  }
+
+  [[nodiscard]] const std::vector<ProcessId>& victims() const {
+    return victim_ids_;
+  }
+
+  void on_start(Context& ctx) override {
+    OmitCtx octx(this, ctx);
+    inner_->on_start(octx);
+  }
+  void on_message(Context& ctx, ProcessId from, const PayloadPtr& m) override {
+    if (!chosen_) {
+      ++counts_[from];
+      if (--observe_remaining_ <= 0) pick_victims();
+    }
+    OmitCtx octx(this, ctx);
+    inner_->on_message(octx, from, m);
+  }
+  void on_timer(Context& ctx, std::uint64_t tag) override {
+    OmitCtx octx(this, ctx);
+    inner_->on_timer(octx, tag);
+  }
+
+ private:
+  void pick_victims() {
+    chosen_ = true;
+    std::vector<std::pair<ProcessId, std::uint64_t>> ranked(counts_.begin(),
+                                                            counts_.end());
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      if (a.second != b.second) return a.second > b.second;
+      return a.first < b.first;
+    });
+    const auto k = std::min<std::size_t>(
+        ranked.size(), static_cast<std::size_t>(std::max(victims_, 0)));
+    for (std::size_t i = 0; i < k; ++i) victim_ids_.push_back(ranked[i].first);
+  }
+
+  class OmitCtx final : public ForwardingContext {
+   public:
+    OmitCtx(AdaptiveOmitShim* shim, Context& base)
+        : ForwardingContext(base), shim_(shim) {}
+
+    void send(ProcessId to, PayloadPtr payload) override {
+      for (ProcessId victim : shim_->victim_ids_) {
+        if (victim == to) return;
+      }
+      ForwardingContext::send(to, std::move(payload));
+    }
+
+   private:
+    AdaptiveOmitShim* shim_;
+  };
+
+  std::unique_ptr<Process> inner_;
+  int victims_;
+  int observe_remaining_;
+  bool chosen_ = false;
+  std::map<ProcessId, std::uint64_t> counts_;
+  std::vector<ProcessId> victim_ids_;
 };
 
 }  // namespace valcon::sim

@@ -57,4 +57,40 @@ class Process {
   virtual void on_timer(Context&, std::uint64_t /*tag*/) {}
 };
 
+/// Context that forwards every operation to a base context. Byzantine shims
+/// and protocol multiplexers derive from it and override only the calls they
+/// interpose on (usually send()). broadcast() is intentionally NOT forwarded:
+/// the inherited default loops over this->send(), so a send() override sees
+/// every broadcast copy individually.
+class ForwardingContext : public Context {
+ public:
+  explicit ForwardingContext(Context& base) : base_(base) {}
+
+  [[nodiscard]] Time now() const override { return base_.now(); }
+  [[nodiscard]] ProcessId id() const override { return base_.id(); }
+  [[nodiscard]] int n() const override { return base_.n(); }
+  [[nodiscard]] int t() const override { return base_.t(); }
+  [[nodiscard]] Time delta() const override { return base_.delta(); }
+  void send(ProcessId to, PayloadPtr payload) override {
+    base_.send(to, std::move(payload));
+  }
+  void set_timer(Time delay, std::uint64_t tag) override {
+    base_.set_timer(delay, tag);
+  }
+  [[nodiscard]] const crypto::KeyRegistry& keys() const override {
+    return base_.keys();
+  }
+  [[nodiscard]] const crypto::Signer& signer() const override {
+    return base_.signer();
+  }
+  [[nodiscard]] Rng& rng() override { return base_.rng(); }
+
+ protected:
+  [[nodiscard]] Context& base() { return base_; }
+  [[nodiscard]] const Context& base() const { return base_; }
+
+ private:
+  Context& base_;
+};
+
 }  // namespace valcon::sim

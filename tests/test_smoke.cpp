@@ -51,7 +51,7 @@ TEST(Smoke, AuthUniversalWithSilentFault) {
   cfg.n = 4;
   cfg.t = 1;
   cfg.proposals = {5, 5, 5, 5};
-  cfg.faults[0] = {harness::FaultKind::kSilent, 0.0};  // the view-0 leader
+  cfg.faults[0] = harness::Fault::silent();  // the view-0 leader
   const core::StrongValidity validity;
   const auto result =
       harness::run_universal(cfg, core::make_lambda(validity, cfg.n, cfg.t));

@@ -1,7 +1,7 @@
-// Scenario-matrix engine (harness/sweep.hpp) and the extended fault model:
-// matrix construction, thread-count-independent determinism, crash exactly
-// at GST, equivocation and delay faults under every vector-consensus stack,
-// and loud rejection of misconfigured scenarios.
+// Scenario-matrix engine (harness/sweep.hpp) and the strategy-based fault
+// model: matrix construction, thread-count-independent determinism, crash
+// exactly at GST, equivocation and delay faults under every
+// vector-consensus stack, and loud rejection of misconfigured scenarios.
 #include <gtest/gtest.h>
 
 #include <set>
@@ -12,7 +12,6 @@
 
 using namespace valcon;
 using namespace valcon::core;
-using harness::FaultKind;
 using harness::FaultSpec;
 using harness::ScenarioConfig;
 using harness::ScenarioMatrix;
@@ -51,8 +50,7 @@ TEST(ScenarioMatrix, SizeIsTheCrossProduct) {
   ScenarioMatrix matrix;
   matrix.vc_kinds({VcKind::kAuthenticated, VcKind::kFast})
       .validities({ValidityKind::kStrong, ValidityKind::kMedian})
-      .faults({FaultSpec{FaultKind::kSilent, 0},
-               FaultSpec{FaultKind::kCrash, -1}})
+      .faults({FaultSpec{"silent", 0}, FaultSpec{"crash", -1}})
       .sizes({{4, 1}, {7, 2}})
       .gsts({0.0, 3.0})
       .seeds({1, 2, 3});
@@ -74,11 +72,11 @@ TEST(ScenarioMatrix, NamedMatricesBuildAndFullHasAtLeast500Cells) {
   EXPECT_GE(full.size(), 500u);
   // The full matrix must exercise every stack and every fault kind.
   std::set<VcKind> vcs;
-  std::set<FaultKind> fault_kinds;
+  std::set<std::string> fault_kinds;
   for (const auto& point : full) {
     vcs.insert(point.config.vc);
     for (const auto& [pid, fault] : point.config.faults) {
-      fault_kinds.insert(fault.kind);
+      fault_kinds.insert(fault.strategy);
     }
   }
   EXPECT_EQ(vcs.size(), 3u);
@@ -128,7 +126,7 @@ TEST(FaultEdges, CrashExactlyAtGst) {
     cfg.gst = 5.0;
     cfg.vc = kind;
     cfg.proposals = {2, 2, 2, 2};
-    cfg.faults[3] = {FaultKind::kCrash, /*crash_time=*/5.0};
+    cfg.faults[3] = harness::Fault::crash(/*when=*/5.0);
     const StrongValidity validity;
     const auto result =
         harness::run_universal(cfg, make_lambda(validity, cfg.n, cfg.t));
@@ -147,10 +145,7 @@ TEST(FaultEdges, EquivocatingProposerUnderEachVcKind) {
     cfg.t = 1;
     cfg.vc = kind;
     cfg.proposals = {1, 1, 1, 0};
-    harness::Fault fault;
-    fault.kind = FaultKind::kEquivocate;
-    fault.equivocal_value = 9;
-    cfg.faults[3] = fault;
+    cfg.faults[3] = harness::Fault::equivocate(9);
     const StrongValidity validity;
     const auto result = harness::run_universal(
         cfg, make_lambda(validity, cfg.n, cfg.t, {0, 1, 9}, {0, 1, 9}));
@@ -173,9 +168,7 @@ TEST(FaultEdges, DelayedSenderUnderEachVcKind) {
     cfg.gst = 4.0;
     cfg.vc = kind;
     cfg.proposals = {0, 1, 0, 1};
-    harness::Fault fault;
-    fault.kind = FaultKind::kDelay;  // release_time < 0 -> gst + delta
-    cfg.faults[0] = fault;
+    cfg.faults[0] = harness::Fault::delay();  // release < 0 -> gst + delta
     const StrongValidity validity;
     const auto result =
         harness::run_universal(cfg, make_lambda(validity, cfg.n, cfg.t));
@@ -225,7 +218,7 @@ TEST(ScenarioValidation, RejectsMisconfiguredScenarios) {
 
   ScenarioConfig negative_crash;
   negative_crash.proposals = {1, 1, 1, 1};
-  negative_crash.faults[0] = {FaultKind::kCrash, -2.0};
+  negative_crash.faults[0] = harness::Fault::crash(-2.0);
   EXPECT_THROW(static_cast<void>(harness::run_universal(negative_crash,
                                                         lambda)),
                std::invalid_argument);

@@ -66,7 +66,7 @@ TEST(UniversalZoo, StrongUnanimous) {
 TEST(UniversalZoo, StrongUnanimousWithSilentFault) {
   const StrongValidity val;
   auto cfg = base_scenario(4, 1, {2, 2, 2, 2});
-  cfg.faults[3] = {harness::FaultKind::kSilent, 0.0};
+  cfg.faults[3] = harness::Fault::silent();
   expect_consensus_with(val, cfg);
 }
 
@@ -79,7 +79,7 @@ TEST(UniversalZoo, WeakValidity) {
   const WeakValidity val;
   expect_consensus_with(val, base_scenario(4, 1, {3, 3, 3, 3}));
   auto cfg = base_scenario(4, 1, {3, 3, 3, 3});
-  cfg.faults[0] = {harness::FaultKind::kSilent, 0.0};
+  cfg.faults[0] = harness::Fault::silent();
   expect_consensus_with(val, cfg);
 }
 
@@ -97,8 +97,8 @@ TEST(UniversalZoo, ConvexHullValidity) {
   const ConvexHullValidity val;
   expect_consensus_with(val, base_scenario(4, 1, {0, 5, 3, 1}));
   auto cfg = base_scenario(7, 2, {0, 1, 2, 3, 4, 5, 5});
-  cfg.faults[2] = {harness::FaultKind::kSilent, 0.0};
-  cfg.faults[5] = {harness::FaultKind::kSilent, 0.0};
+  cfg.faults[2] = harness::Fault::silent();
+  cfg.faults[5] = harness::Fault::silent();
   expect_consensus_with(val, cfg);
 }
 
@@ -126,7 +126,7 @@ TEST(UniversalKinds, NonAuthenticatedWithFault) {
   const StrongValidity val;
   auto cfg = base_scenario(4, 1, {5, 5, 5, 5}, 3);
   cfg.vc = VcKind::kNonAuthenticated;
-  cfg.faults[1] = {harness::FaultKind::kSilent, 0.0};
+  cfg.faults[1] = harness::Fault::silent();
   expect_consensus_with(val, cfg);
 }
 
@@ -141,7 +141,7 @@ TEST(UniversalKinds, FastWithFault) {
   const StrongValidity val;
   auto cfg = base_scenario(4, 1, {5, 5, 5, 5}, 7);
   cfg.vc = VcKind::kFast;
-  cfg.faults[0] = {harness::FaultKind::kSilent, 0.0};
+  cfg.faults[0] = harness::Fault::silent();
   expect_consensus_with(val, cfg);
 }
 
@@ -163,7 +163,7 @@ TEST(Universal, DecidedVectorSimilarToRealInputConfig) {
   // execution's input configuration, hence Λ(vector) ∈ val(c*).
   const StrongValidity val;
   auto cfg = base_scenario(4, 1, {1, 2, 1, 2}, 5);
-  cfg.faults[2] = {harness::FaultKind::kSilent, 0.0};
+  cfg.faults[2] = harness::Fault::silent();
 
   sim::SimConfig sim_cfg;
   sim_cfg.n = cfg.n;
@@ -207,7 +207,7 @@ TEST_P(UniversalSweep, StrongValidityHolds) {
   cfg.seed = static_cast<std::uint64_t>(seed_int);
   for (int p = 0; p < n; ++p) cfg.proposals.push_back(p % 3);
   for (int f = 0; f < faults; ++f) {
-    cfg.faults[n - 1 - f] = {harness::FaultKind::kSilent, 0.0};
+    cfg.faults[n - 1 - f] = harness::Fault::silent();
   }
   const StrongValidity val;
   expect_consensus_with(val, cfg);

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Fails on broken intra-repo markdown links.
+
+Scans every tracked *.md file for inline links/images `[text](target)` and
+reference definitions `[label]: target`, skips external schemes
+(http/https/mailto) and pure in-page anchors, and verifies that every
+remaining target resolves to a file or directory relative to the linking
+file (or to the repo root for absolute `/` paths). Anchors on resolved
+targets (`file.md#section`) are stripped, not verified.
+
+Run from anywhere inside the repo:  python3 tools/check_markdown_links.py
+"""
+import os
+import re
+import subprocess
+import sys
+
+# Target group stops at whitespace so an optional `"title"` part is ignored.
+INLINE_LINK = re.compile(
+    r"!?\[[^\]]*\]\(\s*([^()\s]+(?:\([^()]*\))?)(?:\s+\"[^\"]*\")?\s*\)")
+REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def repo_root():
+    out = subprocess.run(["git", "rev-parse", "--show-toplevel"],
+                         capture_output=True, text=True, check=True)
+    return out.stdout.strip()
+
+
+def markdown_files(root):
+    out = subprocess.run(["git", "ls-files", "*.md", "**/*.md"],
+                         capture_output=True, text=True, check=True, cwd=root)
+    return sorted(set(line for line in out.stdout.splitlines() if line))
+
+
+def check_file(root, md):
+    text = open(os.path.join(root, md), encoding="utf-8").read()
+    # Fenced code blocks routinely contain `[i](...)`-shaped C++ — skip them.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    targets = INLINE_LINK.findall(text) + REF_DEF.findall(text)
+    broken = []
+    for target in targets:
+        if target.startswith(EXTERNAL) or target.startswith("#"):
+            continue
+        path = target.split("#", 1)[0]
+        if not path:
+            continue
+        if path.startswith("/"):
+            resolved = os.path.join(root, path.lstrip("/"))
+        else:
+            resolved = os.path.join(root, os.path.dirname(md), path)
+        if not os.path.exists(resolved):
+            broken.append(target)
+    return broken
+
+
+def main():
+    root = repo_root()
+    failures = 0
+    files = markdown_files(root)
+    for md in files:
+        for target in check_file(root, md):
+            print(f"BROKEN  {md}: ({target})")
+            failures += 1
+    print(f"checked {len(files)} markdown files: "
+          f"{failures} broken intra-repo link(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,7 +1,12 @@
 // valcon_sweep — runs a named scenario matrix over the thread pool and
 // emits the per-scenario results plus an aggregate summary as JSON.
 //
-//   valcon_sweep [--matrix smoke|full] [--jobs N] [--out FILE] [--quiet]
+//   valcon_sweep [--matrix smoke|full|byzantine] [--strategies a,b,...]
+//                [--jobs N] [--out FILE] [--quiet]
+//
+// --strategies filters the matrix's fault dimension to the named adversary
+// strategies ("none" selects the fault-free cells); unknown names abort
+// with the list of registered strategies.
 //
 // Per-scenario output is a deterministic function of the matrix alone
 // (timing lives only in the summary), so two runs with different --jobs
@@ -59,7 +64,7 @@ void write_outcome(std::ostream& os, const SweepOutcome& o) {
   for (const auto& [pid, fault] : cfg.faults) {
     if (!first) os << ", ";
     first = false;
-    os << "{\"id\": " << pid << ", \"kind\": \"" << to_string(fault.kind)
+    os << "{\"id\": " << pid << ", \"kind\": \"" << json_escape(fault.strategy)
        << "\"}";
   }
   os << "], ";
@@ -111,14 +116,29 @@ void write_json(std::ostream& os, const std::string& matrix_name, int jobs,
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " [--matrix smoke|full] [--jobs N] [--out FILE] [--quiet]\n";
+            << " [--matrix smoke|full|byzantine] [--strategies a,b,...]"
+               " [--jobs N] [--out FILE] [--quiet]\n";
   return 2;
+}
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::stringstream ss(csv);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const auto first = item.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    const auto last = item.find_last_not_of(" \t");
+    out.push_back(item.substr(first, last - first + 1));
+  }
+  return out;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string matrix_name = "smoke";
+  std::string strategies_csv;
   std::string out_path;
   int jobs = 1;
   bool quiet = false;
@@ -126,6 +146,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg == "--matrix" && i + 1 < argc) {
       matrix_name = argv[++i];
+    } else if (arg == "--strategies" && i + 1 < argc) {
+      strategies_csv = argv[++i];
     } else if (arg == "--jobs" && i + 1 < argc) {
       jobs = std::atoi(argv[++i]);
     } else if (arg == "--out" && i + 1 < argc) {
@@ -139,7 +161,11 @@ int main(int argc, char** argv) {
 
   std::vector<SweepPoint> points;
   try {
-    points = named_matrix(matrix_name).build();
+    ScenarioMatrix matrix = named_matrix(matrix_name);
+    if (!strategies_csv.empty()) {
+      matrix.keep_strategies(split_csv(strategies_csv));
+    }
+    points = matrix.build();
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
