@@ -127,8 +127,6 @@ RunResult run_universal(const ScenarioConfig& cfg,
                                                            Value decided) {
                        result->decisions[ctx.id()] = decided;
                        result->decide_times[ctx.id()] = ctx.now();
-                       result->last_decision_time =
-                           std::max(result->last_decision_time, ctx.now());
                        if (is_correct) ++*correct_decided;
                      })
                : core::Universal::DecideCb([](sim::Context&, Value) {});
@@ -186,6 +184,15 @@ RunResult run_universal(const ScenarioConfig& cfg,
   for (const auto& [pid, fault] : cfg.faults) {
     result->decisions.erase(pid);
     result->decide_times.erase(pid);
+  }
+  // last_decision_time must be derived from the decisions that survive the
+  // pruning: a faulty recorded stack (an equivocator face, a process that
+  // decides and later crashes) can decide after every correct process, and
+  // folding its time into the max would inflate latency metrics computed
+  // over correct processes only.
+  result->last_decision_time = 0.0;
+  for (const auto& [pid, when] : result->decide_times) {
+    result->last_decision_time = std::max(result->last_decision_time, when);
   }
   return *result;
 }

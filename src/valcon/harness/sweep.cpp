@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <condition_variable>
 #include <exception>
+#include <map>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 
@@ -117,7 +120,7 @@ std::size_t ScenarioMatrix::size() const {
          gsts_.size() * deltas_.size() * seeds_.size();
 }
 
-std::vector<SweepPoint> ScenarioMatrix::build() const {
+void ScenarioMatrix::check_dimensions() const {
   if (domain_ < 2) {
     throw std::invalid_argument("proposal domain must have >= 2 values");
   }
@@ -128,69 +131,79 @@ std::vector<SweepPoint> ScenarioMatrix::build() const {
                                   ") violates 0 <= t < n");
     }
   }
+}
 
-  std::vector<SweepPoint> points;
-  points.reserve(size());
-  for (const VcKind vc : vcs_) {
-    for (const ValidityKind validity : validities_) {
-      for (const FaultSpec& spec : faults_) {
-        for (const auto& [n, t] : sizes_) {
-          for (const Time gst : gsts_) {
-            for (const Time delta : deltas_) {
-              for (const std::uint64_t seed : seeds_) {
-                ScenarioConfig cfg;
-                cfg.n = n;
-                cfg.t = t;
-                cfg.delta = delta;
-                cfg.gst = gst;
-                cfg.seed = seed;
-                cfg.vc = vc;
-                for (int p = 0; p < n; ++p) {
-                  cfg.proposals.push_back(
-                      (static_cast<Value>(p) + static_cast<Value>(seed)) %
-                      domain_);
-                }
-                const int count =
-                    std::min(spec.count < 0 ? t : spec.count, t);
-                for (int f = 0; f < count; ++f) {
-                  const ProcessId pid = n - 1 - f;
-                  Fault fault;  // negative spec fields keep the defaults
-                  fault.strategy = spec.strategy;
-                  fault.crash_time =
-                      spec.crash_time < 0 ? gst : spec.crash_time;
-                  fault.release_time = spec.release_time;
-                  fault.equivocal_value =
-                      spec.equivocal_value < 0
-                          ? (cfg.proposals[static_cast<std::size_t>(pid)] +
-                             1) % domain_
-                          : spec.equivocal_value;
-                  if (spec.mutate_rate >= 0) {
-                    fault.mutate_rate = spec.mutate_rate;
-                  }
-                  fault.switch_time = spec.switch_time;
-                  if (spec.victims >= 0) fault.victims = spec.victims;
-                  if (spec.observe >= 0) fault.observe = spec.observe;
-                  cfg.faults[pid] = fault;
-                }
-                SweepPoint point;
-                point.index = points.size();
-                point.config = cfg;
-                point.validity = validity;
-                point.label = "vc=" + to_string(vc) +
-                              " val=" + to_string(validity) +
-                              " fault=" + spec.label(t) +
-                              " n=" + std::to_string(n) +
-                              " t=" + std::to_string(t) + " gst=" + fmt(gst) +
-                              " delta=" + fmt(delta) +
-                              " seed=" + std::to_string(seed);
-                points.push_back(std::move(point));
-              }
-            }
-          }
-        }
-      }
-    }
+SweepPoint ScenarioMatrix::point_at(std::size_t index) const {
+  check_dimensions();
+  if (index >= size()) {
+    throw std::out_of_range("matrix index " + std::to_string(index) +
+                            " >= size " + std::to_string(size()));
   }
+  // Mixed-radix decode, least-significant (fastest-varying) digit first:
+  // the dimension nesting is vc > validity > fault > size > gst > delta >
+  // seed, so the seed digit is peeled first. This is the one source of
+  // truth for the index ↔ cell mapping; build() just replays it.
+  std::size_t rem = index;
+  const auto digit = [&rem](std::size_t radix) {
+    const std::size_t d = rem % radix;
+    rem /= radix;
+    return d;
+  };
+  const std::uint64_t seed = seeds_[digit(seeds_.size())];
+  const Time delta = deltas_[digit(deltas_.size())];
+  const Time gst = gsts_[digit(gsts_.size())];
+  const auto [n, t] = sizes_[digit(sizes_.size())];
+  const FaultSpec& spec = faults_[digit(faults_.size())];
+  const ValidityKind validity = validities_[digit(validities_.size())];
+  const VcKind vc = vcs_[rem];
+
+  ScenarioConfig cfg;
+  cfg.n = n;
+  cfg.t = t;
+  cfg.delta = delta;
+  cfg.gst = gst;
+  cfg.seed = seed;
+  cfg.vc = vc;
+  for (int p = 0; p < n; ++p) {
+    cfg.proposals.push_back(
+        (static_cast<Value>(p) + static_cast<Value>(seed)) % domain_);
+  }
+  const int count = std::min(spec.count < 0 ? t : spec.count, t);
+  for (int f = 0; f < count; ++f) {
+    const ProcessId pid = n - 1 - f;
+    Fault fault;  // negative spec fields keep the defaults
+    fault.strategy = spec.strategy;
+    fault.crash_time = spec.crash_time < 0 ? gst : spec.crash_time;
+    fault.release_time = spec.release_time;
+    fault.equivocal_value =
+        spec.equivocal_value < 0
+            ? (cfg.proposals[static_cast<std::size_t>(pid)] + 1) % domain_
+            : spec.equivocal_value;
+    if (spec.mutate_rate >= 0) {
+      fault.mutate_rate = spec.mutate_rate;
+    }
+    fault.switch_time = spec.switch_time;
+    if (spec.victims >= 0) fault.victims = spec.victims;
+    if (spec.observe >= 0) fault.observe = spec.observe;
+    cfg.faults[pid] = fault;
+  }
+  SweepPoint point;
+  point.index = index;
+  point.config = std::move(cfg);
+  point.validity = validity;
+  point.label = "vc=" + to_string(vc) + " val=" + to_string(validity) +
+                " fault=" + spec.label(t) + " n=" + std::to_string(n) +
+                " t=" + std::to_string(t) + " gst=" + fmt(gst) +
+                " delta=" + fmt(delta) + " seed=" + std::to_string(seed);
+  return point;
+}
+
+std::vector<SweepPoint> ScenarioMatrix::build() const {
+  check_dimensions();
+  std::vector<SweepPoint> points;
+  const std::size_t total = size();
+  points.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) points.push_back(point_at(i));
   return points;
 }
 
@@ -251,6 +264,72 @@ std::vector<SweepOutcome> SweepRunner::run(
   for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
   for (std::thread& thread : pool) thread.join();
   return outcomes;
+}
+
+void SweepRunner::run_range(
+    const ScenarioMatrix& matrix, std::size_t begin, std::size_t end,
+    const std::function<void(SweepOutcome&&)>& on_outcome) const {
+  if (begin > end || end > matrix.size()) {
+    throw std::invalid_argument(
+        "run_range [" + std::to_string(begin) + ", " + std::to_string(end) +
+        ") is not a slice of the " + std::to_string(matrix.size()) +
+        "-cell matrix");
+  }
+  if (begin == end) return;
+  const std::size_t count = end - begin;
+  if (jobs_ == 1 || count == 1) {
+    for (std::size_t i = begin; i < end; ++i) {
+      on_outcome(run_point(matrix.point_at(i)));
+    }
+    return;
+  }
+
+  // Workers claim indices from an atomic cursor and park finished outcomes
+  // in `pending` until the emit cursor reaches them; a worker more than
+  // `window` cells ahead of the emit cursor blocks, which is what bounds
+  // memory to O(jobs) however uneven the per-cell runtimes are. The worker
+  // holding the emit-cursor index never blocks (its index always satisfies
+  // the window predicate), so the emit frontier always advances.
+  std::mutex mu;
+  std::condition_variable cv;
+  std::map<std::size_t, SweepOutcome> pending;
+  std::size_t next_emit = begin;
+  std::atomic<std::size_t> next_claim{begin};
+  std::exception_ptr sink_failure;
+  bool aborted = false;
+  const std::size_t window = 16u * static_cast<std::size_t>(jobs_);
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next_claim.fetch_add(1);
+      if (i >= end) return;
+      SweepOutcome outcome = run_point(matrix.point_at(i));
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return aborted || i < next_emit + window; });
+      if (aborted) return;
+      pending.emplace(i, std::move(outcome));
+      try {
+        while (!pending.empty() && pending.begin()->first == next_emit) {
+          SweepOutcome ready = std::move(pending.begin()->second);
+          pending.erase(pending.begin());
+          ++next_emit;
+          on_outcome(std::move(ready));
+        }
+      } catch (...) {
+        sink_failure = std::current_exception();
+        aborted = true;
+      }
+      cv.notify_all();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  const std::size_t workers =
+      std::min<std::size_t>(static_cast<std::size_t>(jobs_), count);
+  pool.reserve(workers);
+  for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (std::thread& thread : pool) thread.join();
+  if (sink_failure) std::rethrow_exception(sink_failure);
 }
 
 SweepSummary SweepRunner::summarize(const std::vector<SweepOutcome>& outcomes,

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <utility>
@@ -93,11 +94,25 @@ class ScenarioMatrix {
   /// Number of cells the cross product will produce.
   [[nodiscard]] std::size_t size() const;
 
-  /// Materializes the cross product. Every returned config passes
-  /// harness::validate(). Throws std::invalid_argument on bad dimensions.
+  /// O(1) random access into the cross product: decodes `index` as a
+  /// mixed-radix number over the dimension sizes (vc outermost, seed
+  /// fastest-varying — exactly the order build() enumerates) and
+  /// constructs that one cell. This is what makes 1e6+-cell matrices
+  /// tractable: a shard enumerates its slice cell by cell without ever
+  /// materializing the full point vector, and the index ↔ cell mapping is
+  /// stable across processes and machines as long as the dimensions
+  /// match. Throws std::invalid_argument on bad dimensions and
+  /// std::out_of_range for index >= size().
+  [[nodiscard]] SweepPoint point_at(std::size_t index) const;
+
+  /// Materializes the cross product: point_at() over [0, size()). Every
+  /// returned config passes harness::validate(). Throws
+  /// std::invalid_argument on bad dimensions.
   [[nodiscard]] std::vector<SweepPoint> build() const;
 
  private:
+  /// Shared dimension validation for build()/point_at().
+  void check_dimensions() const;
   std::vector<VcKind> vcs_{VcKind::kAuthenticated};
   std::vector<ValidityKind> validities_{ValidityKind::kStrong};
   std::vector<FaultSpec> faults_{FaultSpec{}};
@@ -147,6 +162,21 @@ class SweepRunner {
 
   [[nodiscard]] std::vector<SweepOutcome> run(
       const std::vector<SweepPoint>& points) const;
+
+  /// Streams the outcomes of the matrix slice [begin, end) to `on_outcome`
+  /// in strictly ascending index order, materializing no point vector:
+  /// cells are decoded on demand via point_at() and completed outcomes are
+  /// buffered only inside a bounded reorder window (workers that run ahead
+  /// of the emit cursor block), so memory is O(jobs), not O(end - begin).
+  /// Concatenating run_range() over any partition of [0, size()) yields
+  /// exactly the outcomes of run(build()) — this is the contract the
+  /// sharded sweep is built on. The sink is called from worker threads but
+  /// never concurrently; an exception it throws aborts the sweep and is
+  /// rethrown here. Throws std::invalid_argument unless
+  /// begin <= end <= matrix.size().
+  void run_range(const ScenarioMatrix& matrix, std::size_t begin,
+                 std::size_t end,
+                 const std::function<void(SweepOutcome&&)>& on_outcome) const;
 
   [[nodiscard]] static SweepSummary summarize(
       const std::vector<SweepOutcome>& outcomes, double wall_seconds);

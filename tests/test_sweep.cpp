@@ -4,6 +4,7 @@
 // vector-consensus stack, and loud rejection of misconfigured scenarios.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <stdexcept>
 
@@ -89,6 +90,64 @@ TEST(ScenarioMatrix, RejectsBadDimensions) {
                std::invalid_argument);
   EXPECT_THROW(ScenarioMatrix().proposal_domain(1).build(),
                std::invalid_argument);
+  EXPECT_THROW(static_cast<void>(ScenarioMatrix().sizes({{4, 4}}).point_at(0)),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------- lazy indexing
+
+TEST(ScenarioMatrix, PointAtMatchesBuildOnThePinnedFullMatrix) {
+  // point_at is the one source of truth for the index ↔ cell mapping; the
+  // pinned "full" matrix is the reference it must reproduce cell for cell.
+  const ScenarioMatrix matrix = harness::named_matrix("full");
+  const auto points = matrix.build();
+  ASSERT_EQ(points.size(), matrix.size());
+  for (const SweepPoint& expected : points) {
+    const SweepPoint lazy = matrix.point_at(expected.index);
+    SCOPED_TRACE(expected.label);
+    EXPECT_EQ(lazy.index, expected.index);
+    EXPECT_EQ(lazy.label, expected.label);
+    EXPECT_EQ(lazy.validity, expected.validity);
+    EXPECT_EQ(lazy.config.n, expected.config.n);
+    EXPECT_EQ(lazy.config.t, expected.config.t);
+    EXPECT_EQ(lazy.config.gst, expected.config.gst);
+    EXPECT_EQ(lazy.config.delta, expected.config.delta);
+    EXPECT_EQ(lazy.config.seed, expected.config.seed);
+    EXPECT_EQ(lazy.config.vc, expected.config.vc);
+    EXPECT_EQ(lazy.config.proposals, expected.config.proposals);
+    ASSERT_EQ(lazy.config.faults.size(), expected.config.faults.size());
+    for (const auto& [pid, fault] : expected.config.faults) {
+      const auto it = lazy.config.faults.find(pid);
+      ASSERT_NE(it, lazy.config.faults.end());
+      EXPECT_EQ(it->second.strategy, fault.strategy);
+      EXPECT_EQ(it->second.crash_time, fault.crash_time);
+      EXPECT_EQ(it->second.release_time, fault.release_time);
+      EXPECT_EQ(it->second.equivocal_value, fault.equivocal_value);
+      EXPECT_EQ(it->second.mutate_rate, fault.mutate_rate);
+      EXPECT_EQ(it->second.switch_time, fault.switch_time);
+      EXPECT_EQ(it->second.victims, fault.victims);
+      EXPECT_EQ(it->second.observe, fault.observe);
+    }
+  }
+  EXPECT_THROW(static_cast<void>(matrix.point_at(matrix.size())),
+               std::out_of_range);
+}
+
+TEST(ScenarioMatrix, PointAtIndexesMillionCellMatricesWithoutBuilding) {
+  // 240 base cells x 5000 seeds: big enough that materializing the cross
+  // product would be absurd, and point_at must stay O(1) random access.
+  std::vector<std::uint64_t> seeds(5000);
+  for (std::size_t s = 0; s < seeds.size(); ++s) seeds[s] = s + 1;
+  const ScenarioMatrix matrix = harness::named_matrix("full").seeds(seeds);
+  ASSERT_GE(matrix.size(), 1000000u);
+  const SweepPoint first = matrix.point_at(0);
+  const SweepPoint last = matrix.point_at(matrix.size() - 1);
+  EXPECT_EQ(first.config.seed, 1u);
+  EXPECT_EQ(last.config.seed, seeds.back());
+  EXPECT_NO_THROW(harness::validate(matrix.point_at(matrix.size() / 2)
+                                        .config));
+  EXPECT_THROW(static_cast<void>(matrix.point_at(matrix.size())),
+               std::out_of_range);
 }
 
 // ---------------------------------------------------------- determinism
@@ -100,6 +159,47 @@ TEST(SweepRunner, ResultsIndependentOfJobCount) {
   const auto jobs8 = SweepRunner(8).run(points);
   expect_equal_results(jobs1, jobs4);
   expect_equal_results(jobs1, jobs8);
+}
+
+TEST(SweepRunner, RunRangeSlicesConcatenateToRunAtAnyShardCount) {
+  const ScenarioMatrix matrix = harness::named_matrix("smoke");
+  const auto reference = SweepRunner(1).run(matrix.build());
+  for (const int shards : {1, 2, 3, 5, 7, 30}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    std::vector<SweepOutcome> streamed;
+    for (int i = 0; i < shards; ++i) {
+      const std::size_t begin =
+          matrix.size() * static_cast<std::size_t>(i) /
+          static_cast<std::size_t>(shards);
+      const std::size_t end =
+          matrix.size() * static_cast<std::size_t>(i + 1) /
+          static_cast<std::size_t>(shards);
+      SweepRunner(3).run_range(matrix, begin, end, [&](SweepOutcome&& o) {
+        // Emission must be in strictly ascending index order.
+        EXPECT_EQ(o.point.index,
+                  streamed.empty() ? begin : streamed.back().point.index + 1);
+        streamed.push_back(std::move(o));
+      });
+    }
+    ASSERT_EQ(streamed.size(), reference.size());
+    expect_equal_results(streamed, reference);
+  }
+}
+
+TEST(SweepRunner, RunRangeRejectsBadSlicesAndPropagatesSinkErrors) {
+  const ScenarioMatrix matrix = harness::named_matrix("smoke");
+  const auto sink = [](SweepOutcome&&) {};
+  EXPECT_THROW(SweepRunner(2).run_range(matrix, 0, matrix.size() + 1, sink),
+               std::invalid_argument);
+  EXPECT_THROW(SweepRunner(2).run_range(matrix, 5, 4, sink),
+               std::invalid_argument);
+  EXPECT_THROW(SweepRunner(4).run_range(matrix, 0, matrix.size(),
+                                        [](SweepOutcome&& o) {
+                                          if (o.point.index == 3) {
+                                            throw std::runtime_error("sink");
+                                          }
+                                        }),
+               std::runtime_error);
 }
 
 TEST(SweepRunner, SmokeMatrixIsHealthy) {
@@ -175,6 +275,36 @@ TEST(FaultEdges, DelayedSenderUnderEachVcKind) {
     EXPECT_TRUE(result.all_correct_decided(cfg));
     EXPECT_TRUE(result.agreement());
   }
+}
+
+TEST(FaultEdges, LastDecisionTimeExcludesFaultyDecisions) {
+  // A delayed process runs a full recorded stack and — cut off from its
+  // peers until after GST — decides strictly later than every correct
+  // process (cell "vc=auth val=Strong fault=delayx1 n=4 t=1 gst=0 delta=1
+  // seed=2" of the pinned full matrix). last_decision_time used to be
+  // maxed over all recorded decisions before the faulty ones were pruned,
+  // so the sweep's mean_latency silently included faulty processes; it
+  // must be the max over the surviving (correct) decide_times.
+  ScenarioConfig cfg;
+  cfg.n = 4;
+  cfg.t = 1;
+  cfg.gst = 0.0;
+  cfg.delta = 1.0;
+  cfg.seed = 2;
+  cfg.vc = VcKind::kAuthenticated;
+  cfg.proposals = {2, 0, 1, 2};
+  cfg.faults[3] = harness::Fault::delay();
+  const StrongValidity validity;
+  const auto result =
+      harness::run_universal(cfg, make_lambda(validity, cfg.n, cfg.t));
+  EXPECT_TRUE(result.all_correct_decided(cfg));
+  EXPECT_EQ(result.decide_times.count(3), 0u) << "faulty pid must be pruned";
+  ASSERT_FALSE(result.decide_times.empty());
+  double last_correct = 0.0;
+  for (const auto& [pid, when] : result.decide_times) {
+    last_correct = std::max(last_correct, when);
+  }
+  EXPECT_EQ(result.last_decision_time, last_correct);
 }
 
 // ------------------------------------------------------------ validation

@@ -1,0 +1,85 @@
+// valcon_merge — recombines the JSON shards of a sharded sweep into one
+// document.
+//
+//   valcon_merge [--out FILE] shard.json [shard.json ...]
+//
+// The shards must come from `valcon_sweep --shard I/M` runs of the same
+// matrix. The tool verifies they are pairwise disjoint and jointly
+// exhaustive (any mixed partition that tiles [0, total) is accepted),
+// copies the per-scenario lines verbatim in index order, and re-derives
+// the aggregate summary from those lines — so the merged document is
+// byte-identical to a single-shot `valcon_sweep` run of the same matrix.
+// Overlaps, gaps, matrix mismatches and malformed shards abort with
+// exit 2.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "valcon/harness/sweep_io.hpp"
+
+using valcon::harness::io::ShardDocument;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--out FILE] shard.json [shard.json ...]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  std::vector<std::string> shard_paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      shard_paths.push_back(arg);
+    }
+  }
+  if (shard_paths.empty()) return usage(argv[0]);
+
+  std::vector<ShardDocument> docs;
+  docs.reserve(shard_paths.size());
+  for (const std::string& path : shard_paths) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::cerr << "error: cannot read " << path << "\n";
+      return 2;
+    }
+    try {
+      docs.push_back(valcon::harness::io::parse_document(in));
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << path << ": " << e.what() << "\n";
+      return 2;
+    }
+  }
+
+  std::ostringstream merged;
+  try {
+    valcon::harness::io::merge_documents(merged, std::move(docs));
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+
+  if (out_path.empty()) {
+    std::cout << merged.str();
+    return std::cout ? 0 : 1;
+  }
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  out << merged.str();
+  out.flush();
+  if (!out) {
+    std::cerr << "error: cannot write " << out_path << "\n";
+    return 1;
+  }
+  return 0;
+}
