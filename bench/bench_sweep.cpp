@@ -63,6 +63,31 @@ void bench_lazy_indexing() {
             << " label bytes, no point vector materialized)\n\n";
 }
 
+// The "validity" matrix: every validity property x every proposal pattern
+// x every network profile. Beyond throughput, this checks the refactor's
+// headline at bench scale: zero errors means Λ is defined everywhere —
+// including CorrectProposal, which the old hard-coded 3-value assignment
+// made unsolvable in every matrix.
+bool bench_validity_matrix() {
+  const ScenarioMatrix matrix = named_matrix("validity");
+  const auto start = std::chrono::steady_clock::now();
+  std::size_t cells = 0, errors = 0, cut = 0;
+  SweepRunner(4).run_range(matrix, 0, matrix.size(), [&](SweepOutcome&& o) {
+    ++cells;
+    if (!o.error.empty()) ++errors;
+    if (o.error.empty() && !o.result.queue_drained) ++cut;
+  });
+  const double wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  std::cout << "validity matrix (jobs=4): " << cells << " scenarios in "
+            << fmt(wall, 3) << "s ("
+            << fmt(static_cast<double>(cells) / wall, 1) << " scen/s), "
+            << errors << " lambda errors, " << cut
+            << " runs cut by the grace window\n";
+  return errors == 0;
+}
+
 // run_range streaming vs run() on the materialized vector: same outcomes,
 // comparable throughput, O(jobs) buffering.
 bool bench_run_range(const std::vector<SweepOutcome>& baseline) {
@@ -128,6 +153,10 @@ int main() {
   std::cout << "\n";
   if (!bench_run_range(baseline)) {
     std::cerr << "FAIL: run_range results differ from run()\n";
+    return 1;
+  }
+  if (!bench_validity_matrix()) {
+    std::cerr << "FAIL: lambda errors in the validity matrix\n";
     return 1;
   }
   return 0;

@@ -1,0 +1,83 @@
+#include "valcon/harness/net_profile.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace valcon::harness {
+
+namespace {
+
+/// Any finite time past every horizon: the network clamps it down to the
+/// model bound max(send, GST) + delta, which is the point — "as late as
+/// the model allows" without the profile re-deriving the bound.
+constexpr Time kModelBound = std::numeric_limits<Time>::max();
+
+}  // namespace
+
+sim::Network::DelayPolicy NetworkProfile::make_delay_policy(Time gst) const {
+  switch (policy) {
+    case Policy::kNone: return {};
+    case Policy::kStarvePreGst:
+      return [gst](ProcessId /*from*/, ProcessId /*to*/,
+                   Time send_time) -> std::optional<Time> {
+        if (send_time < gst) return kModelBound;
+        return std::nullopt;
+      };
+    case Policy::kSlowTarget: {
+      const ProcessId slow = target;
+      return [slow](ProcessId from, ProcessId to,
+                    Time /*send_time*/) -> std::optional<Time> {
+        if (from == slow || to == slow) return kModelBound;
+        return std::nullopt;
+      };
+    }
+  }
+  return {};
+}
+
+void NetworkProfile::validate(int n) const {
+  const auto fail = [this](const std::string& what) {
+    throw std::invalid_argument("NetworkProfile '" + name + "': " + what);
+  };
+  if (name.empty()) {
+    throw std::invalid_argument("NetworkProfile: empty profile name");
+  }
+  // 0 is never a meaningful override (a zero pre-GST cap or min delay
+  // breaks event ordering); "keep the default" is spelled < 0.
+  if (pre_gst_cap == 0) fail("pre_gst_cap must be > 0 (< 0 for the default)");
+  if (min_delay == 0) fail("min_delay must be > 0 (< 0 for the default)");
+  if (policy == Policy::kSlowTarget && (target < 0 || target >= n)) {
+    fail("target " + std::to_string(target) + " outside [0, " +
+         std::to_string(n) + ")");
+  }
+}
+
+NetworkProfile named_network_profile(const std::string& name) {
+  if (name == "uniform") return NetworkProfile{};
+  if (name == "pre-gst-starve") {
+    NetworkProfile profile;
+    profile.name = name;
+    profile.policy = NetworkProfile::Policy::kStarvePreGst;
+    return profile;
+  }
+  if (name == "targeted-slow-links") {
+    NetworkProfile profile;
+    profile.name = name;
+    profile.policy = NetworkProfile::Policy::kSlowTarget;
+    profile.target = 0;
+    return profile;
+  }
+  std::string known;
+  for (const std::string& n : network_profile_names()) {
+    if (!known.empty()) known += ", ";
+    known += n;
+  }
+  throw std::invalid_argument("unknown network profile '" + name +
+                              "' (known: " + known + ")");
+}
+
+std::vector<std::string> network_profile_names() {
+  return {"pre-gst-starve", "targeted-slow-links", "uniform"};
+}
+
+}  // namespace valcon::harness

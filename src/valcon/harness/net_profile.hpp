@@ -1,0 +1,76 @@
+// Network adversary profiles.
+//
+// The partially synchronous model gives the adversary real scheduling
+// power — anything up to max(send, GST) + delta — and Dolev-Reischuk-style
+// lower-bound arguments are driven by exactly that power. Yet every
+// scenario used to run one fixed network: stock NetworkConfig knobs and no
+// delay policy. A NetworkProfile packages the adversary-controlled knobs
+// (pre-GST delay cap, minimum latency) plus an optional deterministic
+// per-link DelayPolicy; run_universal applies it to the simulator's
+// Network via set_delay_policy, and the sweep matrix enumerates profiles
+// as a first-class dimension.
+//
+// Profiles are deterministic: a policy computes arrival times from
+// (from, to, send_time) alone, and the network clamps whatever it returns
+// to the model bounds — a profile can never break partial synchrony, only
+// exhaust it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "valcon/common.hpp"
+#include "valcon/sim/network.hpp"
+
+namespace valcon::harness {
+
+/// One network adversary profile. Named built-ins
+/// (named_network_profile()):
+///
+///   "uniform"             — the legacy default: stock knobs, no policy;
+///                           delays are drawn uniformly from the model's
+///                           allowed window
+///   "pre-gst-starve"      — every message sent before GST arrives exactly
+///                           at the model bound max(send, GST) + delta:
+///                           the pre-GST scheduler is maximally hostile
+///                           (the default uniform network caps pre-GST
+///                           delays at a friendly default_pre_gst_cap)
+///   "targeted-slow-links" — every link touching process `target` (id 0)
+///                           is delivered at the model bound; the rest of
+///                           the network is untouched — a targeted
+///                           slowdown of one participant
+struct NetworkProfile {
+  enum class Policy {
+    kNone,          // no per-link policy
+    kStarvePreGst,  // pre-GST sends arrive at the model bound
+    kSlowTarget,    // links touching `target` arrive at the model bound
+  };
+
+  std::string name = "uniform";
+  /// Cap on adversarial pre-GST delays; < 0 keeps NetworkConfig's default.
+  Time pre_gst_cap = -1.0;
+  /// Minimum network latency; < 0 keeps NetworkConfig's default.
+  Time min_delay = -1.0;
+  Policy policy = Policy::kNone;
+  /// kSlowTarget only: the process whose links crawl.
+  ProcessId target = 0;
+
+  /// The per-link policy for this profile, or an empty function for
+  /// kNone. Arrival times it returns are clamped by the network to
+  /// [send + min_delay, max(send, GST) + delta].
+  [[nodiscard]] sim::Network::DelayPolicy make_delay_policy(Time gst) const;
+
+  /// Throws std::invalid_argument for malformed fields: empty name,
+  /// zero/negative overrides (use < 0 for "keep the default"), or a
+  /// kSlowTarget target outside [0, n).
+  void validate(int n) const;
+};
+
+/// The named built-in profiles documented above. Throws
+/// std::invalid_argument for unknown names, listing what exists.
+[[nodiscard]] NetworkProfile named_network_profile(const std::string& name);
+
+/// Names of the built-in profiles, sorted.
+[[nodiscard]] std::vector<std::string> network_profile_names();
+
+}  // namespace valcon::harness

@@ -99,6 +99,17 @@ void validate(const ScenarioConfig& cfg) {
   if (cfg.delta <= 0) fail("delta must be positive");
   if (cfg.gst < 0) fail("gst must be >= 0");
   if (cfg.horizon <= 0) fail("horizon must be positive");
+  if (cfg.grace_multiplier <= 0) fail("grace_multiplier must be positive");
+  cfg.net_profile.validate(cfg.n);
+  // The profile cannot see delta on its own, so the relative constraint
+  // lives here: a minimum latency above delta inverts the post-GST
+  // sampling window and the model bound would silently override the
+  // requested minimum.
+  if (cfg.net_profile.min_delay > cfg.delta) {
+    fail("net_profile '" + cfg.net_profile.name + "' min_delay " +
+         std::to_string(cfg.net_profile.min_delay) + " exceeds delta " +
+         std::to_string(cfg.delta));
+  }
 }
 
 RunResult run_universal(const ScenarioConfig& cfg,
@@ -111,7 +122,18 @@ RunResult run_universal(const ScenarioConfig& cfg,
   sim_cfg.seed = cfg.seed;
   sim_cfg.net.gst = cfg.gst;
   sim_cfg.net.delta = cfg.delta;
+  if (cfg.net_profile.pre_gst_cap >= 0) {
+    sim_cfg.net.default_pre_gst_cap = cfg.net_profile.pre_gst_cap;
+  }
+  if (cfg.net_profile.min_delay >= 0) {
+    sim_cfg.net.min_delay = cfg.net_profile.min_delay;
+  }
   sim::Simulator simulator(sim_cfg);
+  // The profile's per-link policy goes in before any process is installed,
+  // so even start-time sends see the adversarial schedule.
+  if (auto policy = cfg.net_profile.make_delay_policy(cfg.gst)) {
+    simulator.network().set_delay_policy(std::move(policy));
+  }
 
   auto result = std::make_shared<RunResult>();
   auto correct_decided = std::make_shared<int>(0);
@@ -172,10 +194,12 @@ RunResult run_universal(const ScenarioConfig& cfg,
   while (simulator.step(cutoff)) {
     ++events;
     if (cutoff == cfg.horizon && *correct_decided == n_correct) {
-      cutoff = std::min(cfg.horizon, simulator.now() + 10 * cfg.delta);
+      cutoff = std::min(cfg.horizon,
+                        simulator.now() + cfg.grace_multiplier * cfg.delta);
     }
   }
   result->events = events;
+  result->queue_drained = simulator.idle();
   result->message_complexity = simulator.metrics().message_complexity();
   result->word_complexity = simulator.metrics().communication_complexity();
   result->messages_total = simulator.metrics().messages_total();

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "valcon/core/universal.hpp"
+#include "valcon/harness/net_profile.hpp"
 #include "valcon/sim/simulator.hpp"
 
 namespace valcon::harness {
@@ -117,6 +118,17 @@ struct ScenarioConfig {
   std::map<ProcessId, Fault> faults;
   /// Simulated-time horizon (safety net against livelock).
   Time horizon = 1e9;
+  /// The network adversary: NetworkConfig knobs (pre-GST cap, min delay)
+  /// plus an optional per-link delay policy, applied by run_universal via
+  /// Network::set_delay_policy. See harness/net_profile.hpp.
+  NetworkProfile net_profile;
+  /// Early-stop grace window: once every correct process has decided, the
+  /// run is cut grace_multiplier * delta after the last correct decision
+  /// (residual protocol chatter — decide-echo waves, a faulty stack
+  /// re-arming timers — must not drag the run to the horizon). Must be
+  /// > 0; RunResult::queue_drained records whether the cutoff actually
+  /// fired.
+  double grace_multiplier = 10.0;
   /// Ablation (bench E5): disable Quad's decide-echo wave.
   bool quad_decide_echo = true;
 };
@@ -130,6 +142,11 @@ struct RunResult {
   std::uint64_t messages_total = 0;
   std::uint64_t events = 0;
   Time last_decision_time = 0.0;
+  /// True when the event queue drained on its own; false when the run was
+  /// cut — by the decide-then-grace window (ScenarioConfig's
+  /// grace_multiplier) or the horizon — with events still pending.
+  /// Complexity metrics over a cut run are a lower bound, not a total.
+  bool queue_drained = false;
 
   [[nodiscard]] bool all_correct_decided(const ScenarioConfig& cfg) const;
   [[nodiscard]] bool agreement() const;
@@ -144,7 +161,8 @@ struct RunResult {
 /// Throws std::invalid_argument unless cfg is well-formed: n > 0,
 /// 0 <= t < n, one proposal per process, at most t faults, every fault id
 /// in [0, n), every fault strategy registered (with valid parameters, per
-/// the strategy's own validate hook), delta > 0, gst >= 0 and horizon > 0.
+/// the strategy's own validate hook), delta > 0, gst >= 0, horizon > 0,
+/// grace_multiplier > 0 and a well-formed net_profile (its own validate).
 void validate(const ScenarioConfig& cfg);
 
 /// Runs Universal end to end with the given Λ. Validates cfg first (see

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <exception>
 #include <map>
@@ -10,38 +11,12 @@
 #include <thread>
 
 #include "valcon/core/lambda.hpp"
+#include "valcon/harness/net_profile.hpp"
+#include "valcon/harness/pattern.hpp"
 #include "valcon/harness/strategy.hpp"
 #include "valcon/harness/table.hpp"
 
 namespace valcon::harness {
-
-std::string to_string(ValidityKind kind) {
-  switch (kind) {
-    case ValidityKind::kStrong: return "Strong";
-    case ValidityKind::kWeak: return "Weak";
-    case ValidityKind::kCorrectProposal: return "CorrectProposal";
-    case ValidityKind::kMedian: return "Median";
-    case ValidityKind::kConvexHull: return "ConvexHull";
-  }
-  return "?";
-}
-
-std::unique_ptr<core::ValidityProperty> make_validity(ValidityKind kind, int n,
-                                                      int t) {
-  switch (kind) {
-    case ValidityKind::kStrong:
-      return std::make_unique<core::StrongValidity>();
-    case ValidityKind::kWeak:
-      return std::make_unique<core::WeakValidity>();
-    case ValidityKind::kCorrectProposal:
-      return std::make_unique<core::CorrectProposalValidity>();
-    case ValidityKind::kMedian:
-      return std::make_unique<core::MedianValidity>(n, t);
-    case ValidityKind::kConvexHull:
-      return std::make_unique<core::ConvexHullValidity>();
-  }
-  throw std::invalid_argument("unknown ValidityKind");
-}
 
 std::string FaultSpec::label(int t) const {
   // Mirrors the clamp build() applies, so the label always names the number
@@ -51,6 +26,38 @@ std::string FaultSpec::label(int t) const {
   return strategy + "x" + std::to_string(resolved);
 }
 
+namespace {
+
+/// Shared by keep_patterns / keep_network_profiles: filters `axis` down to
+/// the values named in `keep`, failing loudly for a requested name that
+/// selects nothing (nothing requested may be dropped silently).
+std::vector<std::string> filter_axis(const std::vector<std::string>& axis,
+                                     const std::vector<std::string>& keep,
+                                     const std::string& what) {
+  if (keep.empty()) {
+    // An empty keep-list would empty the axis and shrink the matrix to
+    // zero cells — a sweep that runs nothing and exits green. A filter
+    // that selects nothing is a caller mistake, not a request.
+    throw std::invalid_argument("empty " + what + " filter");
+  }
+  std::vector<std::string> kept;
+  for (const std::string& value : axis) {
+    if (std::find(keep.begin(), keep.end(), value) != keep.end()) {
+      kept.push_back(value);
+    }
+  }
+  for (const std::string& name : keep) {
+    if (std::find(kept.begin(), kept.end(), name) == kept.end()) {
+      throw std::invalid_argument(what + " '" + name +
+                                  "' matches no " + what +
+                                  " dimension value of this matrix");
+    }
+  }
+  return kept;
+}
+
+}  // namespace
+
 ScenarioMatrix& ScenarioMatrix::vc_kinds(std::vector<VcKind> v) {
   vcs_ = std::move(v);
   return *this;
@@ -59,12 +66,30 @@ ScenarioMatrix& ScenarioMatrix::validities(std::vector<ValidityKind> v) {
   validities_ = std::move(v);
   return *this;
 }
+ScenarioMatrix& ScenarioMatrix::patterns(std::vector<std::string> names) {
+  patterns_ = std::move(names);
+  return *this;
+}
+ScenarioMatrix& ScenarioMatrix::keep_patterns(
+    const std::vector<std::string>& keep) {
+  for (const std::string& name : keep) {
+    if (!PatternRegistry::global().contains(name)) {
+      // make() throws with the list of registered names.
+      static_cast<void>(PatternRegistry::global().make(name));
+    }
+  }
+  patterns_ = filter_axis(patterns_, keep, "pattern");
+  return *this;
+}
 ScenarioMatrix& ScenarioMatrix::faults(std::vector<FaultSpec> v) {
   faults_ = std::move(v);
   return *this;
 }
 ScenarioMatrix& ScenarioMatrix::keep_strategies(
     const std::vector<std::string>& keep) {
+  if (keep.empty()) {
+    throw std::invalid_argument("empty strategy filter");
+  }
   for (const std::string& name : keep) {
     if (name != "none" && !StrategyRegistry::global().contains(name)) {
       // make() throws with the list of registered names.
@@ -98,6 +123,20 @@ ScenarioMatrix& ScenarioMatrix::sizes(std::vector<std::pair<int, int>> nt) {
   sizes_ = std::move(nt);
   return *this;
 }
+ScenarioMatrix& ScenarioMatrix::network_profiles(
+    std::vector<std::string> names) {
+  net_profiles_ = std::move(names);
+  return *this;
+}
+ScenarioMatrix& ScenarioMatrix::keep_network_profiles(
+    const std::vector<std::string>& keep) {
+  for (const std::string& name : keep) {
+    // Throws for unknown names, listing what exists.
+    static_cast<void>(named_network_profile(name));
+  }
+  net_profiles_ = filter_axis(net_profiles_, keep, "network profile");
+  return *this;
+}
 ScenarioMatrix& ScenarioMatrix::gsts(std::vector<Time> v) {
   gsts_ = std::move(v);
   return *this;
@@ -111,12 +150,17 @@ ScenarioMatrix& ScenarioMatrix::seeds(std::vector<std::uint64_t> v) {
   return *this;
 }
 ScenarioMatrix& ScenarioMatrix::proposal_domain(Value domain_size) {
+  if (domain_size < 2) {
+    throw std::invalid_argument("proposal domain must have >= 2 values, got " +
+                                std::to_string(domain_size));
+  }
   domain_ = domain_size;
   return *this;
 }
 
 std::size_t ScenarioMatrix::size() const {
-  return vcs_.size() * validities_.size() * faults_.size() * sizes_.size() *
+  return vcs_.size() * validities_.size() * patterns_.size() *
+         faults_.size() * sizes_.size() * net_profiles_.size() *
          gsts_.size() * deltas_.size() * seeds_.size();
 }
 
@@ -131,6 +175,25 @@ void ScenarioMatrix::check_dimensions() const {
                                   ") violates 0 <= t < n");
     }
   }
+  // Pattern / profile *names* are deliberately not resolved here:
+  // check_dimensions runs per point_at decode, and taking the registry
+  // mutex per name per cell would serialize the pool on 1e6+-cell sweeps.
+  // The decode body resolves each name exactly once per cell and throws
+  // the same std::invalid_argument (listing what is registered) on the
+  // first cell of a misnamed axis.
+  // A fault spec naming a proposal outside the domain used to wrap or
+  // leak through silently; reject it while the matrix is being built, not
+  // deep inside a sweep.
+  for (const FaultSpec& spec : faults_) {
+    if (spec.equivocal_value >= domain_) {
+      throw std::invalid_argument(
+          "fault spec '" + spec.strategy + "': equivocal_value " +
+          std::to_string(spec.equivocal_value) +
+          " outside the proposal domain [0, " + std::to_string(domain_) +
+          ") — pick a value the domain can express or raise "
+          "proposal_domain()");
+    }
+  }
 }
 
 SweepPoint ScenarioMatrix::point_at(std::size_t index) const {
@@ -140,9 +203,11 @@ SweepPoint ScenarioMatrix::point_at(std::size_t index) const {
                             " >= size " + std::to_string(size()));
   }
   // Mixed-radix decode, least-significant (fastest-varying) digit first:
-  // the dimension nesting is vc > validity > fault > size > gst > delta >
-  // seed, so the seed digit is peeled first. This is the one source of
-  // truth for the index ↔ cell mapping; build() just replays it.
+  // the dimension nesting is vc > validity > pattern > fault > size >
+  // net-profile > gst > delta > seed, so the seed digit is peeled first.
+  // This is the one source of truth for the index ↔ cell mapping; build()
+  // just replays it. (The two new axes decode as radix-1 digits on legacy
+  // matrices, so their indices — and bytes — are untouched.)
   std::size_t rem = index;
   const auto digit = [&rem](std::size_t radix) {
     const std::size_t d = rem % radix;
@@ -152,8 +217,10 @@ SweepPoint ScenarioMatrix::point_at(std::size_t index) const {
   const std::uint64_t seed = seeds_[digit(seeds_.size())];
   const Time delta = deltas_[digit(deltas_.size())];
   const Time gst = gsts_[digit(gsts_.size())];
+  const std::string& profile_name = net_profiles_[digit(net_profiles_.size())];
   const auto [n, t] = sizes_[digit(sizes_.size())];
   const FaultSpec& spec = faults_[digit(faults_.size())];
+  const std::string& pattern_name = patterns_[digit(patterns_.size())];
   const ValidityKind validity = validities_[digit(validities_.size())];
   const VcKind vc = vcs_[rem];
 
@@ -164,9 +231,22 @@ SweepPoint ScenarioMatrix::point_at(std::size_t index) const {
   cfg.gst = gst;
   cfg.seed = seed;
   cfg.vc = vc;
-  for (int p = 0; p < n; ++p) {
-    cfg.proposals.push_back(
-        (static_cast<Value>(p) + static_cast<Value>(seed)) % domain_);
+  cfg.net_profile = named_network_profile(profile_name);
+  const PatternEnv penv{n, t, seed, domain_, validity};
+  cfg.proposals = PatternRegistry::global().make(pattern_name)->assign(penv);
+  if (static_cast<int>(cfg.proposals.size()) != n) {
+    throw std::invalid_argument(
+        "pattern '" + pattern_name + "' assigned " +
+        std::to_string(cfg.proposals.size()) + " proposals for n=" +
+        std::to_string(n));
+  }
+  for (const Value v : cfg.proposals) {
+    if (v < 0 || v >= domain_) {
+      throw std::invalid_argument(
+          "pattern '" + pattern_name + "' assigned proposal " +
+          std::to_string(v) + " outside the domain [0, " +
+          std::to_string(domain_) + ")");
+    }
   }
   const int count = std::min(spec.count < 0 ? t : spec.count, t);
   for (int f = 0; f < count; ++f) {
@@ -191,10 +271,23 @@ SweepPoint ScenarioMatrix::point_at(std::size_t index) const {
   point.index = index;
   point.config = std::move(cfg);
   point.validity = validity;
+  point.pattern = pattern_name;
   point.label = "vc=" + to_string(vc) + " val=" + to_string(validity) +
                 " fault=" + spec.label(t) + " n=" + std::to_string(n) +
                 " t=" + std::to_string(t) + " gst=" + fmt(gst) +
                 " delta=" + fmt(delta) + " seed=" + std::to_string(seed);
+  // The new axes surface in labels and the wire format only when the
+  // matrix declares them non-trivially; a legacy matrix (both axes pinned
+  // to their single default) keeps the legacy bytes — the pinned "full"
+  // document depends on this.
+  if (!(patterns_.size() == 1 && patterns_[0] == "rotating")) {
+    point.pattern_tag = pattern_name;
+    point.label += " pat=" + pattern_name;
+  }
+  if (!(net_profiles_.size() == 1 && net_profiles_[0] == "uniform")) {
+    point.net_profile_tag = profile_name;
+    point.label += " net=" + profile_name;
+  }
   return point;
 }
 
@@ -208,8 +301,14 @@ std::vector<SweepPoint> ScenarioMatrix::build() const {
 }
 
 SweepOutcome run_point(const SweepPoint& point) {
+  const auto start = std::chrono::steady_clock::now();
   SweepOutcome outcome;
   outcome.point = point;
+  const auto stamp = [&outcome, start] {
+    outcome.wall_micros = std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - start)
+                              .count();
+  };
   const ScenarioConfig& cfg = point.config;
   const auto validity = make_validity(point.validity, cfg.n, cfg.t);
   try {
@@ -218,6 +317,7 @@ SweepOutcome run_point(const SweepPoint& point) {
   } catch (const std::exception& e) {
     outcome.error = e.what();
     outcome.decided = false;
+    stamp();
     return outcome;
   }
   outcome.decided = outcome.result.all_correct_decided(cfg);
@@ -238,6 +338,7 @@ SweepOutcome run_point(const SweepPoint& point) {
       break;
     }
   }
+  stamp();
   return outcome;
 }
 
@@ -295,7 +396,7 @@ void SweepRunner::run_range(
   std::map<std::size_t, SweepOutcome> pending;
   std::size_t next_emit = begin;
   std::atomic<std::size_t> next_claim{begin};
-  std::exception_ptr sink_failure;
+  std::exception_ptr failure;
   bool aborted = false;
   const std::size_t window = 16u * static_cast<std::size_t>(jobs_);
 
@@ -303,7 +404,20 @@ void SweepRunner::run_range(
     for (;;) {
       const std::size_t i = next_claim.fetch_add(1);
       if (i >= end) return;
-      SweepOutcome outcome = run_point(matrix.point_at(i));
+      SweepOutcome outcome;
+      try {
+        // point_at can throw (a custom pattern violating the domain
+        // contract, say); an exception escaping a pool thread would
+        // std::terminate the process, so it is captured and rethrown on
+        // the caller's thread — the same loud failure jobs=1 produces.
+        outcome = run_point(matrix.point_at(i));
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(mu);
+        if (!failure) failure = std::current_exception();
+        aborted = true;
+        cv.notify_all();
+        return;
+      }
       std::unique_lock<std::mutex> lock(mu);
       cv.wait(lock, [&] { return aborted || i < next_emit + window; });
       if (aborted) return;
@@ -316,7 +430,7 @@ void SweepRunner::run_range(
           on_outcome(std::move(ready));
         }
       } catch (...) {
-        sink_failure = std::current_exception();
+        failure = std::current_exception();
         aborted = true;
       }
       cv.notify_all();
@@ -329,7 +443,7 @@ void SweepRunner::run_range(
   pool.reserve(workers);
   for (std::size_t w = 0; w < workers; ++w) pool.emplace_back(worker);
   for (std::thread& thread : pool) thread.join();
-  if (sink_failure) std::rethrow_exception(sink_failure);
+  if (failure) std::rethrow_exception(failure);
 }
 
 SweepSummary SweepRunner::summarize(const std::vector<SweepOutcome>& outcomes,
@@ -409,8 +523,32 @@ ScenarioMatrix named_matrix(const std::string& name) {
         .gsts({0.0, 5.0})
         .seeds({1, 2});
   }
+  if (name == "validity") {
+    // The input-space coverage matrix: every validity property crossed
+    // with every proposal pattern and every network profile over a
+    // 2-value domain. CorrectProposal validity is the reason the domain is
+    // 2: at n=4, t=1 an all-distinct 3-entry decision vector over a
+    // 3-value domain has no (t+1)-multiplicity value (Λ undefined,
+    // unsolvable), while over domain 2 the pigeonhole guarantees one — so
+    // this matrix is where CorrectProposal demonstrably gets solved,
+    // including under the maximally diverse "adversarial" pattern.
+    return ScenarioMatrix()
+        .vc_kinds(all_vcs)
+        .validities({ValidityKind::kStrong, ValidityKind::kWeak,
+                     ValidityKind::kCorrectProposal, ValidityKind::kMedian,
+                     ValidityKind::kConvexHull})
+        .patterns({"rotating", "unanimous", "split", "adversarial"})
+        .faults({FaultSpec{"silent", 0}, FaultSpec{"crash"}})
+        .sizes({{4, 1}})
+        .network_profiles(
+            {"uniform", "pre-gst-starve", "targeted-slow-links"})
+        .gsts({0.0, 5.0})
+        .proposal_domain(2)
+        .seeds({1});
+  }
   throw std::invalid_argument("unknown matrix '" + name +
-                              "' (expected: smoke, full, byzantine)");
+                              "' (expected: smoke, full, byzantine,"
+                              " validity)");
 }
 
 }  // namespace valcon::harness

@@ -1,9 +1,10 @@
 // Scenario-matrix engine: enumerates the cross product of protocol stack ×
-// validity property × fault pattern × system size × network timing × seed,
-// and fans the resulting (embarrassingly parallel) Simulator runs out over
-// a thread pool. Every run is a deterministic function of (config, seed),
-// so results are identical whatever the job count — the pool only changes
-// wall-clock time. Used by the valcon_sweep CLI, bench_sweep and the tests.
+// validity property × proposal pattern × fault pattern × system size ×
+// network profile × network timing × seed, and fans the resulting
+// (embarrassingly parallel) Simulator runs out over a thread pool. Every
+// run is a deterministic function of (config, seed), so results are
+// identical whatever the job count — the pool only changes wall-clock
+// time. Used by the valcon_sweep CLI, bench_sweep and the tests.
 #pragma once
 
 #include <cstdint>
@@ -15,23 +16,9 @@
 
 #include "valcon/core/validity.hpp"
 #include "valcon/harness/scenario.hpp"
+#include "valcon/harness/validity_kind.hpp"
 
 namespace valcon::harness {
-
-/// The paper's named validity properties as sweep dimensions.
-enum class ValidityKind {
-  kStrong,
-  kWeak,
-  kCorrectProposal,
-  kMedian,
-  kConvexHull,
-};
-
-[[nodiscard]] std::string to_string(ValidityKind kind);
-
-/// Instantiates the property for a given system size (Median needs n, t).
-[[nodiscard]] std::unique_ptr<core::ValidityProperty> make_validity(
-    ValidityKind kind, int n, int t);
 
 /// One fault pattern of the matrix: `count` processes (the highest ids)
 /// fail with the same registered adversary strategy. `count` is clamped to
@@ -67,7 +54,17 @@ struct SweepPoint {
   std::size_t index = 0;
   ScenarioConfig config;
   ValidityKind validity = ValidityKind::kStrong;
+  /// Name of the proposal pattern that filled config.proposals (the
+  /// network-profile name lives in config.net_profile.name).
+  std::string pattern = "rotating";
   std::string label;
+  /// Wire-format tags: equal to the pattern / network-profile name when
+  /// the matrix declares the corresponding axis non-trivially (anything
+  /// but the single default value), empty otherwise. Labels and outcome
+  /// lines carry the new fields only when the tag is set — which is what
+  /// keeps the pinned legacy matrices ("full") byte-identical.
+  std::string pattern_tag;
+  std::string net_profile_tag;
 };
 
 /// Builder for the cross product. Each setter replaces one dimension; the
@@ -76,26 +73,44 @@ class ScenarioMatrix {
  public:
   ScenarioMatrix& vc_kinds(std::vector<VcKind> v);
   ScenarioMatrix& validities(std::vector<ValidityKind> v);
+  /// Proposal-pattern names (PatternRegistry); default {"rotating"}, the
+  /// historical (p + seed) % domain assignment.
+  ScenarioMatrix& patterns(std::vector<std::string> names);
+  /// Keeps only the named proposal patterns. Throws std::invalid_argument
+  /// for an empty keep-list, for an unregistered name and for a name that
+  /// selects no pattern of this matrix (nothing requested may be dropped
+  /// silently) — this is what `valcon_sweep --patterns` calls.
+  ScenarioMatrix& keep_patterns(const std::vector<std::string>& keep);
   ScenarioMatrix& faults(std::vector<FaultSpec> v);
   /// Keeps only the fault specs whose effective strategy name is in `keep`
   /// ("none" selects the fault-free spec). Throws std::invalid_argument for
-  /// a name that is neither "none" nor registered, and for a name that
-  /// selects no spec of this matrix (nothing requested may be dropped
-  /// silently) — this is what `valcon_sweep --strategies` calls.
+  /// an empty keep-list, for a name that is neither "none" nor registered,
+  /// and for a name that selects no spec of this matrix (nothing requested
+  /// may be dropped silently) — this is what `valcon_sweep --strategies`
+  /// calls.
   ScenarioMatrix& keep_strategies(const std::vector<std::string>& keep);
   /// (n, t) pairs; every pair must satisfy 0 <= t < n.
   ScenarioMatrix& sizes(std::vector<std::pair<int, int>> nt);
+  /// Network-profile names (named_network_profile()); default
+  /// {"uniform"}, the legacy stock network.
+  ScenarioMatrix& network_profiles(std::vector<std::string> names);
+  /// Keeps only the named network profiles, with the same loud-failure
+  /// contract as keep_patterns — this is what `valcon_sweep
+  /// --net-profiles` calls.
+  ScenarioMatrix& keep_network_profiles(const std::vector<std::string>& keep);
   ScenarioMatrix& gsts(std::vector<Time> v);
   ScenarioMatrix& deltas(std::vector<Time> v);
   ScenarioMatrix& seeds(std::vector<std::uint64_t> v);
-  /// Proposals are filled as (p + seed) % domain_size.
+  /// The finite proposal domain [0, domain_size) the patterns draw from.
+  /// Throws std::invalid_argument for domain_size < 2.
   ScenarioMatrix& proposal_domain(Value domain_size);
 
   /// Number of cells the cross product will produce.
   [[nodiscard]] std::size_t size() const;
 
   /// O(1) random access into the cross product: decodes `index` as a
-  /// mixed-radix number over the dimension sizes (vc outermost, seed
+  /// mixed-radix number over the dimension sizes (nesting vc > validity >
+  /// pattern > fault > size > net-profile > gst > delta > seed, seed
   /// fastest-varying — exactly the order build() enumerates) and
   /// constructs that one cell. This is what makes 1e6+-cell matrices
   /// tractable: a shard enumerates its slice cell by cell without ever
@@ -115,8 +130,10 @@ class ScenarioMatrix {
   void check_dimensions() const;
   std::vector<VcKind> vcs_{VcKind::kAuthenticated};
   std::vector<ValidityKind> validities_{ValidityKind::kStrong};
+  std::vector<std::string> patterns_{"rotating"};
   std::vector<FaultSpec> faults_{FaultSpec{}};
   std::vector<std::pair<int, int>> sizes_{{4, 1}};
+  std::vector<std::string> net_profiles_{"uniform"};
   std::vector<Time> gsts_{0.0};
   std::vector<Time> deltas_{1.0};
   std::vector<std::uint64_t> seeds_{1};
@@ -133,6 +150,10 @@ struct SweepOutcome {
   bool agreement = true;     // no two correct decisions differ
   bool validity_ok = true;   // decisions admissible under the real config
   std::string error;         // exception text if the run threw
+  /// Wall-clock time run_point spent on this cell, in microseconds. NOT
+  /// deterministic — excluded from the sweep wire format; surfaces only in
+  /// valcon_sweep's --timing stream.
+  double wall_micros = 0.0;
 };
 
 /// Aggregate of a whole sweep.
@@ -171,9 +192,10 @@ class SweepRunner {
   /// Concatenating run_range() over any partition of [0, size()) yields
   /// exactly the outcomes of run(build()) — this is the contract the
   /// sharded sweep is built on. The sink is called from worker threads but
-  /// never concurrently; an exception it throws aborts the sweep and is
-  /// rethrown here. Throws std::invalid_argument unless
-  /// begin <= end <= matrix.size().
+  /// never concurrently; an exception it throws — or one thrown while
+  /// decoding a cell (e.g. a custom pattern violating the domain
+  /// contract) — aborts the sweep and is rethrown here, at any job count.
+  /// Throws std::invalid_argument unless begin <= end <= matrix.size().
   void run_range(const ScenarioMatrix& matrix, std::size_t begin,
                  std::size_t end,
                  const std::function<void(SweepOutcome&&)>& on_outcome) const;
@@ -194,7 +216,13 @@ class SweepRunner {
 ///                 its per-scenario JSON is the cross-version determinism
 ///                 reference);
 ///   "byzantine" — all stacks x every built-in strategy (plus fault-free),
-///                 n=4, two seeds: the strategy-coverage matrix.
+///                 n=4, two seeds: the strategy-coverage matrix;
+///   "validity"  — all stacks x all five validity properties x every
+///                 built-in proposal pattern x every network profile over
+///                 a 2-value domain at n=4, t=1: the input-space coverage
+///                 matrix, on which CorrectProposal validity is solvable
+///                 (pigeonhole over domain 2) — unreachable from the old
+///                 hard-coded 3-value rotating assignment.
 /// Throws std::invalid_argument for unknown names.
 [[nodiscard]] ScenarioMatrix named_matrix(const std::string& name);
 

@@ -197,8 +197,19 @@ std::string outcome_line(const SweepOutcome& o) {
      << "\"n\": " << cfg.n << ", \"t\": " << cfg.t << ", "
      << "\"gst\": " << json_number(cfg.gst) << ", "
      << "\"delta\": " << json_number(cfg.delta) << ", "
-     << "\"seed\": " << cfg.seed << ", "
-     << "\"faults\": [";
+     << "\"seed\": " << cfg.seed << ", ";
+  // The proposal-pattern / network-profile fields appear only when the
+  // matrix declares the axis non-trivially (the tag is set): legacy
+  // matrices — the pinned "full" document above all — keep their exact
+  // legacy bytes.
+  if (!o.point.pattern_tag.empty()) {
+    os << "\"pattern\": \"" << json_escape(o.point.pattern_tag) << "\", ";
+  }
+  if (!o.point.net_profile_tag.empty()) {
+    os << "\"net_profile\": \"" << json_escape(o.point.net_profile_tag)
+       << "\", ";
+  }
+  os << "\"faults\": [";
   bool first = true;
   for (const auto& [pid, fault] : cfg.faults) {
     if (!first) os << ", ";
@@ -445,6 +456,7 @@ void merge_documents(std::ostream& os, std::vector<ShardDocument> docs) {
 
 bool Checkpoint::same_work(const Checkpoint& other) const {
   return matrix == other.matrix && strategies == other.strategies &&
+         patterns == other.patterns && net_profiles == other.net_profiles &&
          shard.index == other.shard.index &&
          shard.count == other.shard.count && total == other.total &&
          begin == other.begin && end == other.end;
@@ -453,7 +465,9 @@ bool Checkpoint::same_work(const Checkpoint& other) const {
 std::string Checkpoint::to_json() const {
   std::ostringstream os;
   os << "{\"matrix\": \"" << json_escape(matrix) << "\", \"strategies\": \""
-     << json_escape(strategies) << "\", \"shard_index\": " << shard.index
+     << json_escape(strategies) << "\", \"patterns\": \""
+     << json_escape(patterns) << "\", \"net_profiles\": \""
+     << json_escape(net_profiles) << "\", \"shard_index\": " << shard.index
      << ", \"shard_count\": " << shard.count << ", \"total\": " << total
      << ", \"begin\": " << begin << ", \"end\": " << end
      << ", \"next\": " << next << ", \"sidecar_bytes\": " << sidecar_bytes
@@ -470,6 +484,10 @@ Checkpoint Checkpoint::parse(const std::string& text) {
   }
   cp.matrix = *matrix;
   cp.strategies = *strategies;
+  // Pre-pattern-axis checkpoints carry neither filter field; they resume
+  // as "no filter", which is exactly the work they recorded.
+  cp.patterns = string_field(text, "patterns").value_or("");
+  cp.net_profiles = string_field(text, "net_profiles").value_or("");
   cp.shard.index =
       static_cast<int>(size_field_or_throw(text, "shard_index", "checkpoint"));
   cp.shard.count =

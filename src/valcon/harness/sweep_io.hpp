@@ -147,13 +147,18 @@ void merge_documents(std::ostream& os, std::vector<ShardDocument> docs);
 
 // ------------------------------------------------------------ checkpoint
 
-/// Resumable progress of one (matrix, strategies, shard) invocation:
-/// `next` is the first index of [begin, end) not yet completed. The
-/// scenario lines for [begin, next) live in the sidecar file
+/// Resumable progress of one (matrix, filters, shard) invocation: `next`
+/// is the first index of [begin, end) not yet completed. The scenario
+/// lines for [begin, next) live in the sidecar file
 /// `<checkpoint>.scenarios`, one line each, in index order.
 struct Checkpoint {
   std::string matrix;
   std::string strategies;  // canonical comma-join of the --strategies list
+  /// Canonical comma-joins of the --patterns / --net-profiles filters.
+  /// Absent from pre-pattern-axis checkpoint files; parse() defaults both
+  /// to "" (no filter), so old checkpoints keep resuming.
+  std::string patterns;
+  std::string net_profiles;
   ShardSpec shard;
   std::size_t total = 0;
   std::size_t begin = 0;

@@ -1,0 +1,35 @@
+#include "valcon/harness/validity_kind.hpp"
+
+#include <stdexcept>
+
+namespace valcon::harness {
+
+std::string to_string(ValidityKind kind) {
+  switch (kind) {
+    case ValidityKind::kStrong: return "Strong";
+    case ValidityKind::kWeak: return "Weak";
+    case ValidityKind::kCorrectProposal: return "CorrectProposal";
+    case ValidityKind::kMedian: return "Median";
+    case ValidityKind::kConvexHull: return "ConvexHull";
+  }
+  return "?";
+}
+
+std::unique_ptr<core::ValidityProperty> make_validity(ValidityKind kind, int n,
+                                                      int t) {
+  switch (kind) {
+    case ValidityKind::kStrong:
+      return std::make_unique<core::StrongValidity>();
+    case ValidityKind::kWeak:
+      return std::make_unique<core::WeakValidity>();
+    case ValidityKind::kCorrectProposal:
+      return std::make_unique<core::CorrectProposalValidity>();
+    case ValidityKind::kMedian:
+      return std::make_unique<core::MedianValidity>(n, t);
+    case ValidityKind::kConvexHull:
+      return std::make_unique<core::ConvexHullValidity>();
+  }
+  throw std::invalid_argument("unknown ValidityKind");
+}
+
+}  // namespace valcon::harness

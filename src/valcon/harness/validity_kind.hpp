@@ -1,0 +1,31 @@
+// The paper's named validity properties as an enumerable sweep dimension.
+//
+// Lives in its own header (rather than sweep.hpp, its historical home) so
+// that lower-level harness units — notably the proposal-pattern registry
+// (pattern.hpp), whose adversarial pattern conditions on the property under
+// test — can name the dimension without dragging in the whole sweep engine.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "valcon/core/validity.hpp"
+
+namespace valcon::harness {
+
+/// The paper's named validity properties as sweep dimensions.
+enum class ValidityKind {
+  kStrong,
+  kWeak,
+  kCorrectProposal,
+  kMedian,
+  kConvexHull,
+};
+
+[[nodiscard]] std::string to_string(ValidityKind kind);
+
+/// Instantiates the property for a given system size (Median needs n, t).
+[[nodiscard]] std::unique_ptr<core::ValidityProperty> make_validity(
+    ValidityKind kind, int n, int t);
+
+}  // namespace valcon::harness

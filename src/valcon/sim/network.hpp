@@ -86,7 +86,11 @@ class Network {
     } else if (send_time >= config_.gst) {
       arrival = send_time + rng_.uniform(config_.min_delay, config_.delta);
     } else {
-      const Time cap = std::min(upper, send_time + config_.default_pre_gst_cap);
+      // The cap is clamped to `lower` so a pre-GST cap smaller than the
+      // minimum latency (an adversary profile starving the window shut)
+      // degrades to prompt delivery instead of an inverted uniform range.
+      const Time cap = std::max(
+          lower, std::min(upper, send_time + config_.default_pre_gst_cap));
       arrival = rng_.uniform(lower, cap);
     }
     if (auto it = holds_.find({from, to}); it != holds_.end()) {

@@ -62,6 +62,10 @@ class Simulator {
   /// next event is beyond `horizon`.
   bool step(Time horizon = 1e18);
 
+  /// True when the event queue is empty — i.e. a run that stopped did so
+  /// because it drained, not because a horizon cut it with events pending.
+  [[nodiscard]] bool idle() const { return queue_.empty(); }
+
  private:
   enum class EventKind { kStart, kDeliver, kTimer };
 

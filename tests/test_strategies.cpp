@@ -366,6 +366,10 @@ TEST(StrategyFilter, KeepsOnlyTheNamedStrategies) {
 }
 
 TEST(StrategyFilter, RejectsUnknownNamesAndUnmatchedRequests) {
+  // An empty filter would empty the fault dimension and shrink the matrix
+  // to zero cells — a sweep that runs nothing and exits green.
+  EXPECT_THROW(harness::named_matrix("smoke").keep_strategies({}),
+               std::invalid_argument);
   EXPECT_THROW(harness::named_matrix("smoke").keep_strategies({"bogus"}),
                std::invalid_argument);
   EXPECT_THROW(

@@ -161,6 +161,29 @@ TEST(OutcomeLine, MalformedLineThrows) {
                std::runtime_error);
 }
 
+TEST(OutcomeLine, AxisTagsSurfaceOnlyWhenTheMatrixDeclaresThem) {
+  // Legacy matrices (both new axes at their single default) emit the
+  // legacy bytes; a matrix sweeping the axes carries the fields — and the
+  // extended line still round-trips through the summary parser.
+  const SweepOutcome legacy = run_point(named_matrix("smoke").point_at(0));
+  const std::string legacy_line = io::outcome_line(legacy);
+  EXPECT_EQ(legacy_line.find("\"pattern\""), std::string::npos);
+  EXPECT_EQ(legacy_line.find("\"net_profile\""), std::string::npos);
+
+  const SweepOutcome tagged = run_point(
+      named_matrix("validity").keep_patterns({"adversarial"}).point_at(0));
+  const std::string tagged_line = io::outcome_line(tagged);
+  EXPECT_NE(tagged_line.find("\"pattern\": \"adversarial\""),
+            std::string::npos)
+      << tagged_line;
+  EXPECT_NE(tagged_line.find("\"net_profile\": \"uniform\""),
+            std::string::npos)
+      << tagged_line;
+  const io::ScenarioRecord r = io::parse_outcome_line(tagged_line);
+  EXPECT_EQ(r.decided, tagged.decided);
+  EXPECT_EQ(r.validity_ok, tagged.validity_ok);
+}
+
 TEST(JsonSummary, AccumulatesMeansOverDecidedRunsOnly) {
   io::JsonSummary summary;
   io::ScenarioRecord decided;
@@ -191,6 +214,8 @@ TEST(Checkpoint, JsonRoundTripAndWorkIdentity) {
   io::Checkpoint cp;
   cp.matrix = "full";
   cp.strategies = "crash,equivocate";
+  cp.patterns = "adversarial,rotating";
+  cp.net_profiles = "pre-gst-starve";
   cp.shard = {2, 5};
   cp.total = 720;
   cp.begin = 288;
@@ -204,6 +229,12 @@ TEST(Checkpoint, JsonRoundTripAndWorkIdentity) {
 
   io::Checkpoint other = cp;
   other.strategies = "crash";
+  EXPECT_FALSE(other.same_work(cp));
+  other = cp;
+  other.patterns = "rotating";
+  EXPECT_FALSE(other.same_work(cp));
+  other = cp;
+  other.net_profiles = "";
   EXPECT_FALSE(other.same_work(cp));
   other = cp;
   other.shard.index = 3;
@@ -221,6 +252,25 @@ TEST(Checkpoint, JsonRoundTripAndWorkIdentity) {
   bad.next = 10;  // outside [begin, end]
   EXPECT_THROW(static_cast<void>(io::Checkpoint::parse(bad.to_json())),
                std::runtime_error);
+}
+
+TEST(Checkpoint, ParsesPrePatternAxisFilesAsUnfiltered) {
+  // A checkpoint written before the pattern / net-profile axes existed
+  // carries neither filter field; it must keep resuming as "no filter"
+  // rather than failing or mismatching its own work.
+  const std::string legacy =
+      "{\"matrix\": \"full\", \"strategies\": \"\", \"shard_index\": 0, "
+      "\"shard_count\": 1, \"total\": 720, \"begin\": 0, \"end\": 720, "
+      "\"next\": 100, \"sidecar_bytes\": 12345}\n";
+  const io::Checkpoint cp = io::Checkpoint::parse(legacy);
+  EXPECT_EQ(cp.patterns, "");
+  EXPECT_EQ(cp.net_profiles, "");
+  EXPECT_EQ(cp.next, 100u);
+  io::Checkpoint fresh;
+  fresh.matrix = "full";
+  fresh.total = 720;
+  fresh.end = 720;
+  EXPECT_TRUE(fresh.same_work(cp));
 }
 
 TEST(Checkpoint, AtomicWriteAndSidecarTornLineRecovery) {

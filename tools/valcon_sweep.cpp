@@ -2,13 +2,18 @@
 // of it) and emits the per-scenario results plus an aggregate summary as
 // JSON.
 //
-//   valcon_sweep [--matrix smoke|full|byzantine] [--strategies a,b,...]
-//                [--jobs N] [--shard I/M] [--checkpoint FILE]
-//                [--stop-after K] [--out FILE] [--timing FILE] [--quiet]
+//   valcon_sweep [--matrix smoke|full|byzantine|validity]
+//                [--strategies a,b,...] [--patterns a,b,...]
+//                [--net-profiles a,b,...] [--jobs N] [--shard I/M]
+//                [--checkpoint FILE] [--stop-after K] [--out FILE]
+//                [--timing FILE] [--quiet]
 //
 // --strategies filters the matrix's fault dimension to the named adversary
-// strategies ("none" selects the fault-free cells); unknown names abort
-// with the list of registered strategies.
+// strategies ("none" selects the fault-free cells); --patterns and
+// --net-profiles filter the proposal-pattern and network-profile
+// dimensions the same way. Unknown names abort with the list of what is
+// registered; a name the matrix does not sweep aborts too (nothing
+// requested is dropped silently).
 //
 // --shard I/M runs the I-th (0-based) of M balanced, contiguous,
 // index-stable slices of the matrix. Shard outputs carry a "shard" header
@@ -27,12 +32,14 @@
 // (SweepRunner::run_range), so memory stays O(jobs + output), never
 // O(matrix). Per-scenario output is a deterministic function of the matrix
 // alone; wall-clock timing lives only in the stderr table and the optional
-// --timing stream, which is what lets CI diff sweep JSON byte-for-byte
-// across job counts, shardings and resumes.
+// --timing stream (aggregate numbers plus one {index, label, micros}
+// entry per cell this invocation ran), which is what lets CI diff sweep
+// JSON byte-for-byte across job counts, shardings and resumes.
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
@@ -53,9 +60,11 @@ namespace {
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " [--matrix smoke|full|byzantine] [--strategies a,b,...]"
-               " [--jobs N] [--shard I/M] [--checkpoint FILE]"
-               " [--stop-after K] [--out FILE] [--timing FILE] [--quiet]\n";
+            << " [--matrix smoke|full|byzantine|validity]"
+               " [--strategies a,b,...] [--patterns a,b,...]"
+               " [--net-profiles a,b,...] [--jobs N] [--shard I/M]"
+               " [--checkpoint FILE] [--stop-after K] [--out FILE]"
+               " [--timing FILE] [--quiet]\n";
   return 2;
 }
 
@@ -73,22 +82,60 @@ std::string join_csv(const std::vector<std::string>& items) {
   return out;
 }
 
-void write_timing(const std::string& path, int jobs, double wall,
-                  std::size_t cells_run) {
-  std::ostringstream os;
-  os << "{\"jobs\": " << jobs << ", \"cells_run\": " << cells_run
-     << ", \"wall_seconds\": " << io::json_number(wall)
-     << ", \"scenarios_per_second\": "
-     << io::json_number(wall > 0 ? static_cast<double>(cells_run) / wall : 0)
-     << "}\n";
-  io::atomic_write(path, os.str());
-}
+/// The --timing stream: one {index, label, micros} entry per cell this
+/// invocation actually ran (in index order, streamed as the serial sink
+/// emits them so memory stays O(jobs), never O(cells)), then the
+/// aggregate wall-clock numbers. Deliberately a separate file from the
+/// sweep JSON, which must stay a deterministic function of the matrix
+/// alone. Written to PATH.tmp and renamed into place on success, so a
+/// crashed run never leaves a half-written file at PATH.
+class TimingStream {
+ public:
+  [[nodiscard]] bool open(const std::string& path) {
+    path_ = path;
+    file_.open(path + ".tmp", std::ios::binary | std::ios::trunc);
+    if (file_) file_ << "{\"scenarios\": [";
+    return static_cast<bool>(file_);
+  }
+  [[nodiscard]] bool active() const { return file_.is_open(); }
+  void add(const SweepOutcome& o) {
+    file_ << (count_++ == 0 ? "\n  " : ",\n  ") << "{\"index\": "
+          << o.point.index << ", \"label\": \""
+          << io::json_escape(o.point.label)
+          << "\", \"micros\": " << io::json_number(o.wall_micros) << "}";
+  }
+  [[nodiscard]] bool finish(int jobs, double wall, std::size_t cells_run) {
+    file_ << (count_ > 0 ? "\n ],\n" : "],\n") << " \"jobs\": " << jobs
+          << ", \"cells_run\": " << cells_run
+          << ", \"wall_seconds\": " << io::json_number(wall)
+          << ", \"scenarios_per_second\": "
+          << io::json_number(
+                 wall > 0 ? static_cast<double>(cells_run) / wall : 0)
+          << "}\n";
+    file_.flush();
+    if (!file_) return false;
+    file_.close();
+    return std::rename((path_ + ".tmp").c_str(), path_.c_str()) == 0;
+  }
+  void discard() {
+    if (!file_.is_open()) return;
+    file_.close();
+    std::remove((path_ + ".tmp").c_str());
+  }
+
+ private:
+  std::string path_;
+  std::ofstream file_;
+  std::size_t count_ = 0;
+};
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string matrix_name = "smoke";
   std::string strategies_csv;
+  std::string patterns_csv;
+  std::string net_profiles_csv;
   std::string out_path;
   std::string checkpoint_path;
   std::string timing_path;
@@ -102,6 +149,10 @@ int main(int argc, char** argv) {
       matrix_name = argv[++i];
     } else if (arg == "--strategies" && i + 1 < argc) {
       strategies_csv = argv[++i];
+    } else if (arg == "--patterns" && i + 1 < argc) {
+      patterns_csv = argv[++i];
+    } else if (arg == "--net-profiles" && i + 1 < argc) {
+      net_profiles_csv = argv[++i];
     } else if (arg == "--jobs" && i + 1 < argc) {
       // Strict parse: "--jobs abc" / "--jobs -3" used to become 1 job
       // silently via atoi.
@@ -147,11 +198,21 @@ int main(int argc, char** argv) {
 
   ScenarioMatrix matrix = named_matrix("smoke");
   std::vector<std::string> strategies;
+  std::vector<std::string> patterns;
+  std::vector<std::string> net_profiles;
   try {
     matrix = named_matrix(matrix_name);
     if (!strategies_csv.empty()) {
       strategies = io::split_csv(strategies_csv);
       matrix.keep_strategies(strategies);
+    }
+    if (!patterns_csv.empty()) {
+      patterns = io::split_csv(patterns_csv);
+      matrix.keep_patterns(patterns);
+    }
+    if (!net_profiles_csv.empty()) {
+      net_profiles = io::split_csv(net_profiles_csv);
+      matrix.keep_network_profiles(net_profiles);
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
@@ -164,7 +225,20 @@ int main(int argc, char** argv) {
   // ---------------------------------------------------------- checkpoint
   io::Checkpoint cp;
   cp.matrix = matrix_name;
-  cp.strategies = join_csv(strategies);
+  // Filter identity is the *set* of names (neither the keep-order nor a
+  // repeated name affects the matrix), so the joins are sorted and
+  // deduped: a resume that spells the same filter differently still
+  // matches its checkpoint. (Checkpoints from builds that recorded the
+  // raw --strategies order may report a mismatch on a multi-name filter;
+  // rerun that shard from scratch.)
+  const auto sorted_join = [](std::vector<std::string> names) {
+    std::sort(names.begin(), names.end());
+    names.erase(std::unique(names.begin(), names.end()), names.end());
+    return join_csv(names);
+  };
+  cp.strategies = sorted_join(strategies);
+  cp.patterns = sorted_join(patterns);
+  cp.net_profiles = sorted_join(net_profiles);
   cp.shard = shard.value_or(io::ShardSpec{0, 1});
   cp.total = total;
   cp.begin = range.begin;
@@ -180,9 +254,9 @@ int main(int argc, char** argv) {
         const io::Checkpoint loaded = io::Checkpoint::parse(text);
         if (!loaded.same_work(cp)) {
           std::cerr << "error: checkpoint " << checkpoint_path
-                    << " records different work (matrix/strategies/shard"
-                       " mismatch); delete it or rerun the original"
-                       " invocation\n";
+                    << " records different work (matrix, --strategies,"
+                       " --patterns, --net-profiles or shard mismatch);"
+                       " delete it or rerun the original invocation\n";
           return 2;
         }
         cp = loaded;
@@ -247,6 +321,23 @@ int main(int argc, char** argv) {
 
   const SweepRunner runner(jobs);
   io::JsonSummary summary;
+  // Per-cell wall times for --timing, streamed as the sink emits them
+  // (the sink runs serially in index order, so no synchronization). An
+  // invocation with nothing to run — the idempotent rerun of a complete
+  // checkpoint above all — must not clobber the timing data of the run
+  // that did the work, so the stream only opens when cells will run.
+  TimingStream timing;
+  if (!timing_path.empty()) {
+    if (stop > resume_at) {
+      if (!timing.open(timing_path)) {
+        std::cerr << "error: cannot open " << timing_path << ".tmp\n";
+        return 1;
+      }
+    } else if (!quiet) {
+      std::cerr << "timing: no cells to run; leaving " << timing_path
+                << " untouched\n";
+    }
+  }
   const auto start = std::chrono::steady_clock::now();
   try {
     if (checkpoint_path.empty()) {
@@ -254,6 +345,7 @@ int main(int argc, char** argv) {
       io::document_header(*out, matrix_name, shard, total);
       runner.run_range(matrix, range.begin, range.end,
                        [&](SweepOutcome&& o) {
+                         if (timing.active()) timing.add(o);
                          const std::string line = io::outcome_line(o);
                          summary.add(io::parse_outcome_line(line));
                          *out << line
@@ -273,6 +365,7 @@ int main(int argc, char** argv) {
       }
       try {
         runner.run_range(matrix, resume_at, stop, [&](SweepOutcome&& o) {
+          if (timing.active()) timing.add(o);
           const std::string payload = io::outcome_line(o) + "\n";
           std::size_t written = 0;
           while (written < payload.size()) {
@@ -297,6 +390,7 @@ int main(int argc, char** argv) {
       ::close(side_fd);
     }
   } catch (const std::exception& e) {
+    timing.discard();
     std::cerr << "error: " << e.what() << "\n";
     return 1;
   }
@@ -307,13 +401,9 @@ int main(int argc, char** argv) {
                                 (checkpoint_path.empty() ? range.begin
                                                          : resume_at);
 
-  if (!timing_path.empty()) {
-    try {
-      write_timing(timing_path, runner.jobs(), wall, cells_run);
-    } catch (const std::exception& e) {
-      std::cerr << "error: " << e.what() << "\n";
-      return 1;
-    }
+  if (timing.active() && !timing.finish(runner.jobs(), wall, cells_run)) {
+    std::cerr << "error: cannot write " << timing_path << "\n";
+    return 1;
   }
 
   if (!complete_this_run) {
