@@ -55,6 +55,13 @@ class ReliableBroadcast final : public sim::Component {
       }
       return "brb";
     }
+    [[nodiscard]] sim::PayloadTypeId type_id() const override {
+      static const sim::PayloadTypeId ids[3] = {
+          sim::PayloadTypeRegistry::intern("brb/send"),
+          sim::PayloadTypeRegistry::intern("brb/echo"),
+          sim::PayloadTypeRegistry::intern("brb/ready")};
+      return ids[static_cast<std::size_t>(kind)];
+    }
     [[nodiscard]] std::size_t size_words() const override { return words_; }
     Kind kind;
     Content content;

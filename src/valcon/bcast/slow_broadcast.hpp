@@ -43,9 +43,7 @@ class SlowBroadcast final : public sim::Component {
  private:
   struct Msg final : sim::Payload {
     explicit Msg(Content content_in) : content(std::move(content_in)) {}
-    [[nodiscard]] const char* type_name() const override {
-      return "slow/broadcast";
-    }
+    VALCON_PAYLOAD_TYPE("slow/broadcast")
     [[nodiscard]] std::size_t size_words() const override {
       return content.size() / 8 + 1;
     }

@@ -10,9 +10,7 @@ std::size_t words_of(std::size_t bytes) { return bytes / 8 + 1; }
 
 struct Add::MDisperse final : sim::Payload {
   explicit MDisperse(Bytes share_in) : share(std::move(share_in)) {}
-  [[nodiscard]] const char* type_name() const override {
-    return "add/disperse";
-  }
+  VALCON_PAYLOAD_TYPE("add/disperse")
   [[nodiscard]] std::size_t size_words() const override {
     return words_of(share.size());
   }
@@ -21,9 +19,7 @@ struct Add::MDisperse final : sim::Payload {
 
 struct Add::MReconstruct final : sim::Payload {
   explicit MReconstruct(Bytes share_in) : share(std::move(share_in)) {}
-  [[nodiscard]] const char* type_name() const override {
-    return "add/reconstruct";
-  }
+  VALCON_PAYLOAD_TYPE("add/reconstruct")
   [[nodiscard]] std::size_t size_words() const override {
     return words_of(share.size());
   }

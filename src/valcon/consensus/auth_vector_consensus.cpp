@@ -28,9 +28,7 @@ bool VectorQuadProposal::verify(const crypto::KeyRegistry& keys, int n,
 
 struct AuthVectorConsensus::MProposal final : sim::Payload {
   MProposal(Value v, crypto::Signature s) : value(v), sig(s) {}
-  [[nodiscard]] const char* type_name() const override {
-    return "avc/proposal";
-  }
+  VALCON_PAYLOAD_TYPE("avc/proposal")
   [[nodiscard]] std::size_t size_words() const override { return 2; }
   Value value;
   crypto::Signature sig;

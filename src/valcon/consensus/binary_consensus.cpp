@@ -6,16 +6,14 @@ namespace valcon::consensus {
 
 struct BinaryConsensus::MEst final : sim::Payload {
   explicit MEst(bool v) : value(v) {}
-  [[nodiscard]] const char* type_name() const override { return "bin/est"; }
+  VALCON_PAYLOAD_TYPE("bin/est")
   bool value;
 };
 
 struct BinaryConsensus::MProposal final : sim::Payload {
   MProposal(std::int64_t r, bool v, std::int64_t vr)
       : round(r), value(v), valid_round(vr) {}
-  [[nodiscard]] const char* type_name() const override {
-    return "bin/proposal";
-  }
+  VALCON_PAYLOAD_TYPE("bin/proposal")
   std::int64_t round;
   bool value;
   std::int64_t valid_round;
@@ -23,27 +21,21 @@ struct BinaryConsensus::MProposal final : sim::Payload {
 
 struct BinaryConsensus::MPrevote final : sim::Payload {
   MPrevote(std::int64_t r, std::optional<bool> v) : round(r), value(v) {}
-  [[nodiscard]] const char* type_name() const override {
-    return "bin/prevote";
-  }
+  VALCON_PAYLOAD_TYPE("bin/prevote")
   std::int64_t round;
   std::optional<bool> value;
 };
 
 struct BinaryConsensus::MPrecommit final : sim::Payload {
   MPrecommit(std::int64_t r, std::optional<bool> v) : round(r), value(v) {}
-  [[nodiscard]] const char* type_name() const override {
-    return "bin/precommit";
-  }
+  VALCON_PAYLOAD_TYPE("bin/precommit")
   std::int64_t round;
   std::optional<bool> value;
 };
 
 struct BinaryConsensus::MDecided final : sim::Payload {
   explicit MDecided(bool v) : value(v) {}
-  [[nodiscard]] const char* type_name() const override {
-    return "bin/decided";
-  }
+  VALCON_PAYLOAD_TYPE("bin/decided")
   bool value;
 };
 

@@ -6,9 +6,7 @@ namespace valcon::consensus {
 
 struct FastVectorConsensus::MProposal final : sim::Payload {
   MProposal(Value v, crypto::Signature s) : value(v), sig(s) {}
-  [[nodiscard]] const char* type_name() const override {
-    return "fvc/proposal";
-  }
+  VALCON_PAYLOAD_TYPE("fvc/proposal")
   [[nodiscard]] std::size_t size_words() const override { return 2; }
   Value value;
   crypto::Signature sig;

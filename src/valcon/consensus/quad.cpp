@@ -8,9 +8,7 @@ struct Quad::MViewChange final : sim::Payload {
   MViewChange(std::int64_t v, std::optional<QuorumCert> qc_in,
               QuadProposalPtr value_in)
       : view(v), qc(std::move(qc_in)), value(std::move(value_in)) {}
-  [[nodiscard]] const char* type_name() const override {
-    return "quad/view-change";
-  }
+  VALCON_PAYLOAD_TYPE("quad/view-change")
   [[nodiscard]] std::size_t size_words() const override {
     return 2 + (value ? value->size_words() : 0);
   }
@@ -23,9 +21,7 @@ struct Quad::MPropose final : sim::Payload {
   MPropose(std::int64_t v, QuadProposalPtr value_in,
            std::optional<QuorumCert> justify_in)
       : view(v), value(std::move(value_in)), justify(std::move(justify_in)) {}
-  [[nodiscard]] const char* type_name() const override {
-    return "quad/propose";
-  }
+  VALCON_PAYLOAD_TYPE("quad/propose")
   [[nodiscard]] std::size_t size_words() const override {
     return 2 + (value ? value->size_words() : 0);
   }
@@ -37,9 +33,7 @@ struct Quad::MPropose final : sim::Payload {
 struct Quad::MPrepareVote final : sim::Payload {
   MPrepareVote(std::int64_t v, crypto::Hash d, crypto::Signature s)
       : view(v), digest(d), partial(s) {}
-  [[nodiscard]] const char* type_name() const override {
-    return "quad/prepare-vote";
-  }
+  VALCON_PAYLOAD_TYPE("quad/prepare-vote")
   [[nodiscard]] std::size_t size_words() const override { return 2; }
   std::int64_t view;
   crypto::Hash digest;
@@ -49,9 +43,7 @@ struct Quad::MPrepareVote final : sim::Payload {
 struct Quad::MPrecommit final : sim::Payload {
   MPrecommit(std::int64_t v, QuadProposalPtr value_in, QuorumCert qc_in)
       : view(v), value(std::move(value_in)), qc(std::move(qc_in)) {}
-  [[nodiscard]] const char* type_name() const override {
-    return "quad/precommit";
-  }
+  VALCON_PAYLOAD_TYPE("quad/precommit")
   [[nodiscard]] std::size_t size_words() const override {
     return 2 + (value ? value->size_words() : 0);
   }
@@ -63,9 +55,7 @@ struct Quad::MPrecommit final : sim::Payload {
 struct Quad::MCommitVote final : sim::Payload {
   MCommitVote(std::int64_t v, crypto::Hash d, crypto::Signature s)
       : view(v), digest(d), partial(s) {}
-  [[nodiscard]] const char* type_name() const override {
-    return "quad/commit-vote";
-  }
+  VALCON_PAYLOAD_TYPE("quad/commit-vote")
   [[nodiscard]] std::size_t size_words() const override { return 2; }
   std::int64_t view;
   crypto::Hash digest;
@@ -75,9 +65,7 @@ struct Quad::MCommitVote final : sim::Payload {
 struct Quad::MDecide final : sim::Payload {
   MDecide(QuadProposalPtr value_in, QuorumCert qc_in)
       : value(std::move(value_in)), qc(std::move(qc_in)) {}
-  [[nodiscard]] const char* type_name() const override {
-    return "quad/decide";
-  }
+  VALCON_PAYLOAD_TYPE("quad/decide")
   [[nodiscard]] std::size_t size_words() const override {
     return 2 + (value ? value->size_words() : 0);
   }
@@ -87,9 +75,7 @@ struct Quad::MDecide final : sim::Payload {
 
 struct Quad::MEpochOver final : sim::Payload {
   MEpochOver(std::int64_t e, crypto::Signature s) : epoch(e), partial(s) {}
-  [[nodiscard]] const char* type_name() const override {
-    return "quad/epoch-over";
-  }
+  VALCON_PAYLOAD_TYPE("quad/epoch-over")
   [[nodiscard]] std::size_t size_words() const override { return 2; }
   std::int64_t epoch;
   crypto::Signature partial;
@@ -98,9 +84,7 @@ struct Quad::MEpochOver final : sim::Payload {
 struct Quad::MEpochCert final : sim::Payload {
   MEpochCert(std::int64_t e, crypto::ThresholdSignature s)
       : epoch(e), tsig(s) {}
-  [[nodiscard]] const char* type_name() const override {
-    return "quad/epoch-cert";
-  }
+  VALCON_PAYLOAD_TYPE("quad/epoch-cert")
   [[nodiscard]] std::size_t size_words() const override { return 2; }
   std::int64_t epoch;
   crypto::ThresholdSignature tsig;

@@ -60,9 +60,7 @@ decode_vector_blob(const std::vector<std::uint8_t>& blob) {
 
 struct VectorDissemination::MStored final : sim::Payload {
   MStored(crypto::Hash h, crypto::Signature p) : hash(h), partial(p) {}
-  [[nodiscard]] const char* type_name() const override {
-    return "dissem/stored";
-  }
+  VALCON_PAYLOAD_TYPE("dissem/stored")
   [[nodiscard]] std::size_t size_words() const override { return 2; }
   crypto::Hash hash;
   crypto::Signature partial;
@@ -70,9 +68,7 @@ struct VectorDissemination::MStored final : sim::Payload {
 
 struct VectorDissemination::MConfirm final : sim::Payload {
   MConfirm(crypto::Hash h, crypto::ThresholdSignature s) : hash(h), tsig(s) {}
-  [[nodiscard]] const char* type_name() const override {
-    return "dissem/confirm";
-  }
+  VALCON_PAYLOAD_TYPE("dissem/confirm")
   [[nodiscard]] std::size_t size_words() const override { return 2; }
   crypto::Hash hash;
   crypto::ThresholdSignature tsig;

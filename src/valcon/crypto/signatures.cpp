@@ -14,7 +14,8 @@ std::uint64_t truncate(const Hash& h) {
 
 }  // namespace
 
-KeyRegistry::KeyRegistry(int n, int k, std::uint64_t seed) : n_(n), k_(k) {
+KeyRegistry::KeyRegistry(int n, int k, std::uint64_t seed)
+    : n_(n), k_(k), seed_(seed) {
   root_secret_ =
       truncate(Hasher("valcon/root-secret").add(seed).finish());
   secrets_.reserve(static_cast<std::size_t>(n));

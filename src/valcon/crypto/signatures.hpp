@@ -56,6 +56,11 @@ class KeyRegistry {
 
   [[nodiscard]] int n() const { return n_; }
   [[nodiscard]] int threshold_k() const { return k_; }
+  /// The seed the registry was generated from. A registry is an immutable
+  /// pure function of (n, threshold_k, seed), which is what makes sharing
+  /// one instance across simulators sound; the seed is kept so a consumer
+  /// can verify it was handed the registry it asked for.
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
 
   /// Verifies an individual signature.
   [[nodiscard]] bool verify(const Signature& sig) const;
@@ -82,6 +87,7 @@ class KeyRegistry {
 
   int n_;
   int k_;
+  std::uint64_t seed_;
   std::uint64_t root_secret_;
   std::vector<std::uint64_t> secrets_;
 };

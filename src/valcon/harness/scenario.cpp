@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <mutex>
 #include <stdexcept>
+#include <tuple>
 
 #include "valcon/consensus/auth_vector_consensus.hpp"
 #include "valcon/consensus/fast_vector_consensus.hpp"
@@ -60,6 +62,24 @@ std::unique_ptr<consensus::VectorConsensus> make_vc(const ScenarioConfig& cfg) {
 }
 
 }  // namespace
+
+std::shared_ptr<const crypto::KeyRegistry> shared_key_registry(
+    int n, int threshold_k, std::uint64_t seed) {
+  using CacheKey = std::tuple<int, int, std::uint64_t>;
+  static std::mutex mu;
+  static std::map<CacheKey, std::shared_ptr<const crypto::KeyRegistry>> cache;
+  const std::lock_guard<std::mutex> lock(mu);
+  // A sweep over thousands of seeds creates thousands of (tiny) registries;
+  // dropping the whole cache at a generous bound keeps the worst case flat
+  // without an eviction order that would be dead weight for every realistic
+  // sweep.
+  if (cache.size() >= 8192) cache.clear();
+  auto& entry = cache[CacheKey{n, threshold_k, seed}];
+  if (entry == nullptr) {
+    entry = std::make_shared<const crypto::KeyRegistry>(n, threshold_k, seed);
+  }
+  return entry;
+}
 
 std::unique_ptr<core::Universal> make_universal(
     const ScenarioConfig& cfg, Value proposal, core::LambdaFn lambda,
@@ -122,6 +142,7 @@ RunResult run_universal(const ScenarioConfig& cfg,
   sim_cfg.seed = cfg.seed;
   sim_cfg.net.gst = cfg.gst;
   sim_cfg.net.delta = cfg.delta;
+  sim_cfg.keys = shared_key_registry(cfg.n, cfg.n - cfg.t, cfg.seed);
   if (cfg.net_profile.pre_gst_cap >= 0) {
     sim_cfg.net.default_pre_gst_cap = cfg.net_profile.pre_gst_cap;
   }
@@ -203,6 +224,7 @@ RunResult run_universal(const ScenarioConfig& cfg,
   result->message_complexity = simulator.metrics().message_complexity();
   result->word_complexity = simulator.metrics().communication_complexity();
   result->messages_total = simulator.metrics().messages_total();
+  result->by_type = simulator.metrics().by_type();
   // Crashed processes may have "decided" before crashing; they are faulty,
   // so drop them from the correctness-facing views.
   for (const auto& [pid, fault] : cfg.faults) {

@@ -140,6 +140,11 @@ struct RunResult {
   std::uint64_t message_complexity = 0;   // msgs by correct senders >= GST
   std::uint64_t word_complexity = 0;      // words by correct senders >= GST
   std::uint64_t messages_total = 0;
+  /// Post-GST correct-sender messages per payload type (the materialized
+  /// view of the simulator's interned-id counters); the values sum to
+  /// message_complexity. Diagnostic only — not part of the sweep wire
+  /// format.
+  std::map<std::string, std::uint64_t> by_type;
   std::uint64_t events = 0;
   Time last_decision_time = 0.0;
   /// True when the event queue drained on its own; false when the run was
@@ -152,6 +157,16 @@ struct RunResult {
   [[nodiscard]] bool agreement() const;
   [[nodiscard]] std::optional<Value> common_decision() const;
 };
+
+/// Returns the process-wide shared crypto::KeyRegistry for (n, threshold_k,
+/// seed), building it on first request. A registry is an immutable pure
+/// function of that triple, so every sweep cell (and every test) with the
+/// same triple reuses one instance instead of regenerating n+1 secrets per
+/// run — run_universal plugs the result into SimConfig::keys. Thread-safe;
+/// the cache is cleared wholesale if it ever grows past a few thousand
+/// entries (distinct triples, not cells, bound it).
+[[nodiscard]] std::shared_ptr<const crypto::KeyRegistry> shared_key_registry(
+    int n, int threshold_k, std::uint64_t seed);
 
 /// Builds a Universal stack for one process (shared by tests and benches).
 [[nodiscard]] std::unique_ptr<core::Universal> make_universal(

@@ -122,6 +122,9 @@ class TwoFacedProcess final : public Process {
     [[nodiscard]] const char* type_name() const override {
       return inner->type_name();
     }
+    [[nodiscard]] PayloadTypeId type_id() const override {
+      return inner->type_id();
+    }
     [[nodiscard]] std::size_t size_words() const override {
       return inner->size_words();
     }
@@ -205,9 +208,7 @@ class TwoFacedProcess final : public Process {
 /// arbitrary payload corruption while keeping word accounting honest.
 struct GarbagePayload final : Payload {
   explicit GarbagePayload(std::size_t words) : words_(words == 0 ? 1 : words) {}
-  [[nodiscard]] const char* type_name() const override {
-    return "adversary/garbage";
-  }
+  VALCON_PAYLOAD_TYPE("adversary/garbage")
   [[nodiscard]] std::size_t size_words() const override { return words_; }
 
  private:

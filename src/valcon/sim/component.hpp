@@ -32,17 +32,30 @@ class Component {
 
 struct MuxMsg final : Payload {
   MuxMsg(std::uint32_t child_idx, PayloadPtr inner_payload)
-      : child(child_idx), inner(std::move(inner_payload)) {}
+      : child(child_idx),
+        inner(std::move(inner_payload)),
+        name_(inner->type_name()),
+        type_id_(inner->type_id()),
+        words_(inner->size_words()) {}
 
-  [[nodiscard]] const char* type_name() const override {
-    return inner->type_name();
-  }
-  [[nodiscard]] std::size_t size_words() const override {
-    return inner->size_words();
+  // The wrapped message's metrics identity, captured once at construction:
+  // Metrics::on_send queries the outermost payload on every send, and for
+  // a multi-level Mux stack the per-send virtual walk down the wrapper
+  // chain (twice: id and words) was measurable on the hot path.
+  [[nodiscard]] const char* type_name() const override { return name_; }
+  [[nodiscard]] PayloadTypeId type_id() const override { return type_id_; }
+  [[nodiscard]] std::size_t size_words() const override { return words_; }
+  [[nodiscard]] std::int32_t mux_child() const override {
+    return static_cast<std::int32_t>(child);
   }
 
   std::uint32_t child;
   PayloadPtr inner;
+
+ private:
+  const char* name_;
+  PayloadTypeId type_id_;
+  std::size_t words_;
 };
 
 /// A component with children. Subclasses implement the own_* hooks for their
@@ -61,7 +74,11 @@ class Mux : public Component {
 
   void on_message(Context& ctx, ProcessId from, const PayloadPtr& m) final {
     ScopedCtx scope(this, ctx);
-    if (const auto* mux = dynamic_cast<const MuxMsg*>(m.get())) {
+    const std::int32_t child = m->mux_child();
+    if (child != Payload::kNotWrapped) {
+      // Only MuxMsg answers the routing hook (see Payload::mux_child).
+      assert(dynamic_cast<const MuxMsg*>(m.get()) != nullptr);
+      const auto* mux = static_cast<const MuxMsg*>(m.get());
       if (mux->child < children_.size()) {
         children_[mux->child]->on_message(*child_ctxs_[mux->child], from,
                                           mux->inner);
@@ -153,6 +170,15 @@ class Mux : public Component {
 
     void send(ProcessId to, PayloadPtr payload) override {
       base().send(to, make_payload<MuxMsg>(idx_, std::move(payload)));
+    }
+    void broadcast(const PayloadPtr& payload) override {
+      // One wrapper shared by every recipient instead of n identical
+      // wrappers: payloads are immutable and shared by design, so this is
+      // observationally identical — and protocol stacks broadcast almost
+      // everything, so on a multi-level stack it removes (levels × n - 1)
+      // allocations per broadcast. The base context still sees one send()
+      // per recipient (Byzantine shims interpose on those, not here).
+      base().broadcast(make_payload<MuxMsg>(idx_, payload));
     }
     void set_timer(Time delay, std::uint64_t tag) override {
       base().set_timer(delay, tag * kTagRadix + idx_ + 1);

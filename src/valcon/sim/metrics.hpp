@@ -6,26 +6,35 @@
 // Communication complexity counts words instead (footnote 4). Totals over
 // the whole execution (including pre-GST and faulty senders) are also kept
 // for diagnostics.
+//
+// The per-type breakdown is counted by interned PayloadTypeId — a dense
+// array increment on the per-message hot path — and materialized back into
+// the historical string-keyed map only when by_type() is asked for, so the
+// reporting format is unchanged while on_send performs no string
+// construction, no tree lookup and (steady-state) no allocation.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "valcon/common.hpp"
+#include "valcon/sim/payload.hpp"
 
 namespace valcon::sim {
 
 class Metrics {
  public:
   void on_send(bool sender_correct, bool post_gst, std::size_t words,
-               const char* type_name) {
+               PayloadTypeId type) {
     ++messages_total_;
     words_total_ += words;
     if (sender_correct && post_gst) {
       ++messages_post_gst_;
       words_post_gst_ += words;
-      by_type_[type_name] += 1;
+      if (type >= by_type_.size()) by_type_.resize(type + 1, 0);
+      ++by_type_[type];
     }
   }
 
@@ -40,9 +49,21 @@ class Metrics {
   [[nodiscard]] std::uint64_t messages_total() const { return messages_total_; }
   [[nodiscard]] std::uint64_t words_total() const { return words_total_; }
 
-  /// Post-GST correct-sender message counts per payload type.
-  [[nodiscard]] const std::map<std::string, std::uint64_t>& by_type() const {
-    return by_type_;
+  /// Post-GST correct-sender message counts per payload type, materialized
+  /// lazily from the interned counters. Types never seen (count zero) are
+  /// absent, exactly as with the old string-keyed map; the sum of the
+  /// values equals message_complexity().
+  [[nodiscard]] std::map<std::string, std::uint64_t> by_type() const {
+    std::map<std::string, std::uint64_t> out;
+    // One registry snapshot instead of a locked name_of per id (sweeps
+    // materialize this once per cell, from many threads).
+    const std::vector<std::string> names = PayloadTypeRegistry::names();
+    for (PayloadTypeId id = 0; id < by_type_.size(); ++id) {
+      if (by_type_[id] != 0) {
+        out[names[id]] += by_type_[id];
+      }
+    }
+    return out;
   }
 
   void reset() {
@@ -56,7 +77,7 @@ class Metrics {
   std::uint64_t words_total_ = 0;
   std::uint64_t messages_post_gst_ = 0;
   std::uint64_t words_post_gst_ = 0;
-  std::map<std::string, std::uint64_t> by_type_;
+  std::vector<std::uint64_t> by_type_;  // indexed by PayloadTypeId
 };
 
 }  // namespace valcon::sim

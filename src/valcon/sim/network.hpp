@@ -11,14 +11,23 @@
 // clipped to the model bound), permanent link blocks (allowed only for
 // faulty senders — the network is reliable between correct processes), and
 // a custom delay policy hook.
+//
+// The per-link state lives in dense n x n arrays sized at construction (n
+// is small and fixed for a run), so the per-message arrival_time query is
+// branch-and-index only — no tree walks, no allocation. Installing a hold
+// or block validates the ids; arrival_time assumes in-range ids (its only
+// caller, Simulator::do_send, validates the destination and owns the
+// source).
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <map>
+#include <limits>
 #include <optional>
-#include <set>
+#include <stdexcept>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "valcon/common.hpp"
 #include "valcon/sim/rng.hpp"
@@ -38,15 +47,24 @@ struct NetworkConfig {
 
 class Network {
  public:
-  Network(NetworkConfig config, std::uint64_t seed)
-      : config_(config), rng_(seed) {}
+  /// `n` fixes the process-id space [0, n) the per-link tables cover.
+  Network(NetworkConfig config, int n, std::uint64_t seed)
+      : config_(config),
+        n_(n),
+        rng_(seed),
+        holds_(static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+               kNoHold),
+        blocked_(static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
+                 0) {}
 
   [[nodiscard]] const NetworkConfig& config() const { return config_; }
 
   /// Delay all (from -> to) deliveries so they arrive no earlier than
-  /// `until` (clipped to the model bound max(send, GST) + delta).
+  /// `until` (clipped to the model bound max(send, GST) + delta). A later
+  /// hold on the same link overwrites the earlier one. Throws
+  /// std::out_of_range for ids outside [0, n).
   void hold(ProcessId from, ProcessId to, Time until) {
-    holds_[{from, to}] = until;
+    holds_[link(from, to)] = until;
   }
 
   /// Symmetric hold between two groups of processes.
@@ -62,8 +80,8 @@ class Network {
 
   /// Permanently drop messages from `from` to `to`. Only legal when `from`
   /// is faulty (the caller asserts that; the network is reliable between
-  /// correct processes).
-  void block(ProcessId from, ProcessId to) { blocked_.insert({from, to}); }
+  /// correct processes). Throws std::out_of_range for ids outside [0, n).
+  void block(ProcessId from, ProcessId to) { blocked_[link(from, to)] = 1; }
 
   /// Optional custom policy: returns the desired arrival time for a message
   /// (before clamping to the model bounds), or nullopt to use the default.
@@ -72,9 +90,14 @@ class Network {
   void set_delay_policy(DelayPolicy policy) { policy_ = std::move(policy); }
 
   /// Returns the arrival time for a message, or nullopt if dropped.
+  /// Hot path: `from` and `to` must be in [0, n) — Simulator::do_send
+  /// guarantees this.
   [[nodiscard]] std::optional<Time> arrival_time(ProcessId from, ProcessId to,
                                                  Time send_time) {
-    if (blocked_.count({from, to}) != 0) return std::nullopt;
+    const std::size_t idx = static_cast<std::size_t>(from) *
+                                static_cast<std::size_t>(n_) +
+                            static_cast<std::size_t>(to);
+    if (blocked_[idx] != 0) return std::nullopt;
     const Time lower = send_time + config_.min_delay;
     const Time upper = model_bound(send_time);
 
@@ -93,9 +116,9 @@ class Network {
           lower, std::min(upper, send_time + config_.default_pre_gst_cap));
       arrival = rng_.uniform(lower, cap);
     }
-    if (auto it = holds_.find({from, to}); it != holds_.end()) {
-      arrival = std::max(arrival, it->second);
-    }
+    // kNoHold is -infinity, so an un-held link takes the max unchanged —
+    // the same semantics as the old map lookup, without the branch.
+    arrival = std::max(arrival, holds_[idx]);
     if (arrival < lower) arrival = lower;
     if (arrival > upper) arrival = upper;
     return arrival;
@@ -107,10 +130,25 @@ class Network {
   }
 
  private:
+  static constexpr Time kNoHold = -std::numeric_limits<Time>::infinity();
+
+  /// Row-major (from, to) index with validation — the mutation surface
+  /// (hold/block) goes through here; arrival_time trusts its caller.
+  [[nodiscard]] std::size_t link(ProcessId from, ProcessId to) const {
+    if (from < 0 || from >= n_ || to < 0 || to >= n_) {
+      throw std::out_of_range("link (" + std::to_string(from) + " -> " +
+                              std::to_string(to) + ") outside [0, " +
+                              std::to_string(n_) + ")^2");
+    }
+    return static_cast<std::size_t>(from) * static_cast<std::size_t>(n_) +
+           static_cast<std::size_t>(to);
+  }
+
   NetworkConfig config_;
+  int n_;
   Rng rng_;
-  std::map<std::pair<ProcessId, ProcessId>, Time> holds_;
-  std::set<std::pair<ProcessId, ProcessId>> blocked_;
+  std::vector<Time> holds_;           // n x n, kNoHold when un-held
+  std::vector<std::uint8_t> blocked_;  // n x n, 0 / 1
   DelayPolicy policy_;
 };
 

@@ -1,0 +1,212 @@
+// Per-run payload arena.
+//
+// Every simulated message allocates at least one Payload (often several:
+// each Mux layer wraps the inner message in a MuxMsg), and with the default
+// make_shared path each of those is a heap allocation on the per-message
+// hot path. A PayloadSlab replaces that with a bump-pointer block allocator
+// plus per-size free lists: blocks of 64 KiB are carved out 16 bytes at a
+// time, and freed payloads are recycled through an intrusive free list, so
+// the steady state performs no heap allocation at all and peak memory is
+// bounded by the number of *live* payloads, not the number of messages.
+//
+// Ownership and lifetime: the slab is reference-counted. Every payload
+// allocated from it keeps a shared_ptr to the slab inside its control block
+// (see SlabAllocator), so a PayloadPtr that escapes the Simulator — a test
+// stashing a delivered message, say — keeps the backing memory alive until
+// the last reference drops. A slab is single-threaded by construction: it
+// is owned by one Simulator, which runs on one thread.
+//
+// The thread-local "current" slab is how make_payload finds the arena
+// without any signature change: Simulator::step opens a PayloadSlab::Scope
+// around event dispatch, and payload construction inside protocol callbacks
+// lands in that simulator's slab. Outside any scope (test fixtures building
+// payloads by hand), make_payload falls back to make_shared.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace valcon::sim {
+
+class PayloadSlab {
+ public:
+  /// Size of the blocks carved into payload allocations.
+  static constexpr std::size_t kBlockBytes = 64 * 1024;
+  /// Allocation granularity and guaranteed alignment.
+  static constexpr std::size_t kGranularity = 16;
+  /// Requests above this go straight to operator new (none of the library
+  /// payloads comes close; this is a safety valve for exotic user types).
+  static constexpr std::size_t kMaxPooledBytes = 1024;
+
+  PayloadSlab(const PayloadSlab&) = delete;
+  PayloadSlab& operator=(const PayloadSlab&) = delete;
+
+  /// Owner handle: the Simulator constructs one, and its destructor
+  /// retires the slab — which self-destructs only once the last live
+  /// payload is gone, so payloads that escape their simulator stay valid.
+  class Handle {
+   public:
+    Handle() : slab_(new PayloadSlab()) {}
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+    ~Handle() { slab_->retire(); }
+    [[nodiscard]] PayloadSlab* get() const { return slab_; }
+    [[nodiscard]] PayloadSlab& operator*() const { return *slab_; }
+
+   private:
+    PayloadSlab* slab_;
+  };
+
+  [[nodiscard]] void* allocate(std::size_t bytes) {
+    ++live_;
+    const std::size_t need = round_up(bytes);
+    if (need > kMaxPooledBytes) {
+      ++oversize_allocs_;
+      return ::operator new(bytes);
+    }
+    const std::size_t bucket = need / kGranularity;
+    if (FreeNode* node = free_lists_[bucket]) {
+      free_lists_[bucket] = node->next;
+      return node;
+    }
+    if (remaining_ < need) grow();
+    void* p = bump_;
+    bump_ += need;
+    remaining_ -= need;
+    return p;
+  }
+
+  void deallocate(void* p, std::size_t bytes) noexcept {
+    const std::size_t need = round_up(bytes);
+    if (need > kMaxPooledBytes) {
+      ::operator delete(p);
+    } else {
+      const std::size_t bucket = need / kGranularity;
+      auto* node = static_cast<FreeNode*>(p);
+      node->next = free_lists_[bucket];
+      free_lists_[bucket] = node;
+    }
+    // Last payload of a retired slab: nothing can reach the slab anymore.
+    if (--live_ == 0 && retired_) delete this;
+  }
+
+  /// Heap allocations this slab has performed: one per 64 KiB block plus
+  /// one per oversize request. The bench divides this by the message count
+  /// to demonstrate the (amortized) zero-allocation steady state.
+  [[nodiscard]] std::uint64_t blocks_allocated() const {
+    return static_cast<std::uint64_t>(blocks_.size());
+  }
+  [[nodiscard]] std::uint64_t oversize_allocs() const {
+    return oversize_allocs_;
+  }
+
+  /// The slab new payloads are currently allocated from (nullptr outside
+  /// any Scope).
+  [[nodiscard]] static PayloadSlab* current() { return t_current_; }
+
+  /// Binds `slab` as the current arena for the enclosing scope. Scopes
+  /// nest (a simulator stepping inside another simulator's callback — the
+  /// strategy test-beds do this — restores the outer arena on exit). Only
+  /// a raw pointer to the owner's shared_ptr is stored, so entering and
+  /// leaving a scope touches no reference count.
+  class Scope {
+   public:
+    explicit Scope(PayloadSlab* slab) : prev_(t_current_) {
+      t_current_ = slab;
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope() { t_current_ = prev_; }
+
+   private:
+    PayloadSlab* prev_;
+  };
+
+ private:
+  friend class Handle;
+
+  PayloadSlab() = default;
+  ~PayloadSlab() {
+    for (void* block : blocks_) ::operator delete(block);
+  }
+
+  /// Called by the owning Handle: self-destructs now if no payload is
+  /// live, otherwise defers to the last deallocate().
+  void retire() noexcept {
+    if (live_ == 0) {
+      delete this;
+    } else {
+      retired_ = true;
+    }
+  }
+
+  struct FreeNode {
+    FreeNode* next;
+  };
+  static_assert(sizeof(FreeNode) <= kGranularity);
+
+  static constexpr std::size_t round_up(std::size_t bytes) {
+    return (bytes + kGranularity - 1) & ~(kGranularity - 1);
+  }
+
+  void grow() {
+    blocks_.push_back(::operator new(kBlockBytes));
+    bump_ = static_cast<std::byte*>(blocks_.back());
+    remaining_ = kBlockBytes;
+  }
+
+  static inline thread_local PayloadSlab* t_current_ = nullptr;
+
+  std::vector<void*> blocks_;
+  std::byte* bump_ = nullptr;
+  std::size_t remaining_ = 0;
+  // One list head per kGranularity-sized class up to kMaxPooledBytes.
+  FreeNode* free_lists_[kMaxPooledBytes / kGranularity + 1] = {};
+  std::uint64_t oversize_allocs_ = 0;
+  std::uint64_t live_ = 0;
+  bool retired_ = false;
+};
+
+/// Allocator adapter handing allocate_shared's single combined
+/// (control block + payload) allocation to a PayloadSlab. It holds a raw
+/// slab pointer — copying it is free, which matters because the shared_ptr
+/// machinery copies the allocator several times per allocation — and the
+/// slab's live-payload count (allocate/deallocate pairs) is what keeps the
+/// slab alive until the last payload is gone.
+template <typename T>
+class SlabAllocator {
+ public:
+  using value_type = T;
+
+  explicit SlabAllocator(PayloadSlab* slab) : slab_(slab) {}
+  template <typename U>
+  SlabAllocator(const SlabAllocator<U>& other) : slab_(other.slab_) {}
+
+  [[nodiscard]] T* allocate(std::size_t count) {
+    if constexpr (alignof(T) > PayloadSlab::kGranularity) {
+      return static_cast<T*>(
+          ::operator new(count * sizeof(T), std::align_val_t(alignof(T))));
+    } else {
+      return static_cast<T*>(slab_->allocate(count * sizeof(T)));
+    }
+  }
+  void deallocate(T* p, std::size_t count) noexcept {
+    if constexpr (alignof(T) > PayloadSlab::kGranularity) {
+      ::operator delete(p, std::align_val_t(alignof(T)));
+    } else {
+      slab_->deallocate(p, count * sizeof(T));
+    }
+  }
+
+  template <typename U>
+  [[nodiscard]] bool operator==(const SlabAllocator<U>& other) const {
+    return slab_ == other.slab_;
+  }
+
+  PayloadSlab* slab_;
+};
+
+}  // namespace valcon::sim
