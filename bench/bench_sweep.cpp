@@ -95,6 +95,7 @@ const char* const kTypes[12] = {
     "storm/stored",      "storm/confirm",      "storm/echo"};
 }  // namespace names
 
+// valcon-lint: allow(payload-type) -- storm token interns 12 names by phase
 struct Token final : sim::Payload {
   Token(int phase_in, bool vote_in) : phase(phase_in % 12), vote(vote_in) {}
   [[nodiscard]] const char* type_name() const override {

@@ -43,6 +43,9 @@ class ReliableBroadcast final : public sim::Component {
   [[nodiscard]] bool delivered() const { return delivered_; }
 
  private:
+  // One class interns three metric names (brb/send, brb/echo, brb/ready)
+  // switched on `kind`; VALCON_PAYLOAD_TYPE can only declare a single name.
+  // valcon-lint: allow(payload-type) -- multi-name payload, interns per kind
   struct Msg final : sim::Payload {
     enum class Kind { kSend, kEcho, kReady };
     Msg(Kind kind_in, Content content_in, std::size_t words)

@@ -1,6 +1,7 @@
 #include "valcon/consensus/reed_solomon.hpp"
 
-#include <cassert>
+#include <stdexcept>
+#include <string>
 
 #include "valcon/consensus/gf256.hpp"
 
@@ -94,7 +95,14 @@ std::optional<Row> poly_divide_exact(Row a, const Row& b) {
 }  // namespace
 
 ReedSolomon::ReedSolomon(int n, int k) : n_(n), k_(k) {
-  assert(k > 0 && k <= n && n <= 255);
+  // A real error path, not an assert: the parameters come from protocol
+  // configuration, and NDEBUG builds (the default RelWithDebInfo) would
+  // otherwise carry an out-of-range code over GF(256) silently.
+  if (k <= 0 || k > n || n > 255) {
+    throw std::invalid_argument(
+        "ReedSolomon requires 0 < k <= n <= 255, got n=" + std::to_string(n) +
+        " k=" + std::to_string(k));
+  }
 }
 
 std::vector<std::vector<std::uint8_t>> ReedSolomon::encode(

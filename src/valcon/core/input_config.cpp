@@ -66,6 +66,8 @@ bool InputConfig::unanimous(Value* out) const {
 }
 
 crypto::Hash InputConfig::digest() const {
+  // Feeds scenario identity: traversal is dense slot order, so the hash is
+  // a pure function of (n, slot contents) — no container order involved.
   crypto::Hasher h("valcon/input-config");
   h.add(static_cast<std::int64_t>(n()));
   for (int i = 0; i < n(); ++i) {

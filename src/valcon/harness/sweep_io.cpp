@@ -8,17 +8,23 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <limits>
 #include <optional>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
+#include <system_error>
 
 namespace valcon::harness::io {
 
 namespace {
+
+/// Thread-safe strerror: checkpoint writes happen from a sweep that may be
+/// running a pool, and std::strerror shares a static buffer across threads.
+std::string errno_message(int err = errno) {
+  return std::system_category().message(err);
+}
 
 /// Reverses json_escape() for the escape forms it emits (\" \\ \n \t
 /// \u00XX); unknown escapes pass the escaped character through.
@@ -508,8 +514,7 @@ void atomic_write(const std::string& path, const std::string& content) {
   const std::string tmp = path + ".tmp";
   const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) {
-    throw std::runtime_error("cannot open " + tmp + ": " +
-                             std::strerror(errno));
+    throw std::runtime_error("cannot open " + tmp + ": " + errno_message());
   }
   std::size_t written = 0;
   while (written < content.size()) {
@@ -519,7 +524,7 @@ void atomic_write(const std::string& path, const std::string& content) {
       const int err = errno;
       ::close(fd);
       throw std::runtime_error("cannot write " + tmp + ": " +
-                               std::strerror(err));
+                               errno_message(err));
     }
     written += static_cast<std::size_t>(n);
   }
@@ -530,12 +535,12 @@ void atomic_write(const std::string& path, const std::string& content) {
     const int err = errno;
     ::close(fd);
     throw std::runtime_error("cannot fsync " + tmp + ": " +
-                             std::strerror(err));
+                             errno_message(err));
   }
   ::close(fd);
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     throw std::runtime_error("cannot rename " + tmp + " over " + path + ": " +
-                             std::strerror(errno));
+                             errno_message());
   }
   const auto slash = path.find_last_of('/');
   const std::string dir = slash == std::string::npos

@@ -1,13 +1,21 @@
 #include "valcon/lb/partition.hpp"
 
-#include <cassert>
+#include <stdexcept>
+#include <string>
 
 #include "valcon/sim/adversary.hpp"
 
 namespace valcon::lb {
 
 PartitionOutcome run_partition_experiment(int n, int t, std::uint64_t seed) {
-  assert(n == 3 * t || n == 3 * t + 1);
+  // Theorem 1's construction needs n <= 3t (here the two canonical shapes);
+  // a throw, not an assert — NDEBUG builds would otherwise run a partition
+  // geometry the proof says nothing about and report it as a result.
+  if (t < 1 || (n != 3 * t && n != 3 * t + 1)) {
+    throw std::invalid_argument(
+        "run_partition_experiment requires n == 3t or n == 3t+1 with "
+        "t >= 1, got n=" + std::to_string(n) + " t=" + std::to_string(t));
+  }
   // Groups: A = [0, n-2t), B = [n-2t, n-t) (Byzantine), C = [n-t, n).
   const int a_end = n - 2 * t;
   const int b_end = n - t;

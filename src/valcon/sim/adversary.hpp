@@ -117,6 +117,7 @@ class MessageDropShim final : public Process {
 class TwoFacedProcess final : public Process {
  public:
   /// Wrapper for self-addressed messages so they return to the same face.
+  // valcon-lint: allow(payload-type) -- forwards the inner payload's identity
   struct FacedSelfMsg final : Payload {
     FacedSelfMsg(int f, PayloadPtr m) : face(f), inner(std::move(m)) {}
     [[nodiscard]] const char* type_name() const override {

@@ -11,8 +11,12 @@ namespace {
 
 struct InternTable {
   std::mutex mu;
+  // Point lookups only — never iterated.  Intern order (and thus id
+  // assignment) depends on which payload class a run constructs first,
+  // which concurrent sweeps do not agree on; anything serialized must
+  // re-key by name (see Metrics::by_type).
   std::unordered_map<std::string, PayloadTypeId> ids;
-  std::vector<std::string> names;
+  std::vector<std::string> names;  // id -> name, in intern order
 };
 
 // Leaked intentionally: payload classes intern from function-local statics

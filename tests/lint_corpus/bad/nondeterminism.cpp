@@ -1,0 +1,29 @@
+// Lint fixture: nondeterminism sources the linter must catch.  This file
+// is never compiled — it exists to pin valcon_lint.py's behavior (see
+// tools/valcon_lint.py --self-test).
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+double wall_now() {
+  const auto tp = std::chrono::system_clock::now();  // lint-expect: wall-clock
+  return std::chrono::duration<double>(tp.time_since_epoch()).count();
+}
+
+long stamp_seconds() {
+  return time(nullptr);  // lint-expect: wall-clock
+}
+
+int noisy_roll() {
+  std::random_device rd;  // lint-expect: raw-rand
+  return static_cast<int>(rd());
+}
+
+int libc_roll() {
+  return rand() % 6;  // lint-expect: raw-rand
+}
+
+const char* build_banner() {
+  return "built on " __DATE__ " at " __TIME__;  // lint-expect: build-stamp
+}

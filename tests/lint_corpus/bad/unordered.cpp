@@ -1,0 +1,30 @@
+// Lint fixture: hash-order iteration and pointer keys.  Never compiled.
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+struct Widget {};
+
+void dump_counts(std::ostream& os) {
+  std::unordered_map<std::string, std::uint64_t> counts;
+  counts["a"] = 1;
+  for (const auto& [name, value] : counts) {  // lint-expect: unordered-iteration
+    os << name << value;
+  }
+}
+
+void walk_members() {
+  std::unordered_set<int> members = {1, 2, 3};
+  for (auto it = members.begin(); it != members.end(); ++it) {  // lint-expect: unordered-iteration
+  }
+}
+
+void pointer_keyed() {
+  std::map<Widget*, int> ranks;  // lint-expect: pointer-key
+  std::unordered_map<const Widget*, int> cache;  // lint-expect: pointer-key
+  (void)ranks;
+  (void)cache;
+}

@@ -1,0 +1,29 @@
+// Lint fixture: assert-only input validation, undeclared payload identity,
+// and suppressions that fail to carry a reason.  Never compiled.
+#include <cassert>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "valcon/sim/payload.hpp"
+
+struct Frame {
+  int n = 0;
+};
+
+Frame parse_frame(const std::vector<unsigned char>& bytes) {
+  assert(!bytes.empty());  // lint-expect: assert-validation
+  Frame f;
+  f.n = bytes[0];
+  assert(f.n > 0 && f.n < 64);  // lint-expect: assert-validation
+  return f;
+}
+
+struct BareMsg final : valcon::sim::Payload {  // lint-expect: payload-type
+  int round = 0;
+};
+
+// A waiver without a written reason is itself a finding: suppressions are
+// part of the audit trail.
+// valcon-lint: allow(pointer-key)  // lint-expect: bad-suppression
+// valcon-lint: allow(no-such-rule) -- misspelled  // lint-expect: bad-suppression
