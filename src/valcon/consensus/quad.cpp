@@ -105,6 +105,34 @@ crypto::Hash Quad::epoch_digest(std::int64_t epoch) const {
   return h.finish();
 }
 
+namespace {
+
+/// Near-miss report for a QC just formed on `winner`: margin = winner's
+/// votes minus the strongest competing digest's votes in the same view and
+/// phase, conflicting = every vote a losing digest collected. An adversary
+/// that split the voters shows up as a small margin / nonzero conflict
+/// count (sim/metrics.hpp: NearMiss).
+template <typename VoteMap>
+void report_quorum(sim::Context& ctx, const VoteMap& votes,
+                   const crypto::Hash& winner) {
+  std::size_t won = 0;
+  std::size_t strongest_rival = 0;
+  std::uint64_t conflicting = 0;
+  for (const auto& [digest, entry] : votes) {
+    const std::size_t count = entry.second.size();
+    if (digest == winner) {
+      won = count;
+    } else {
+      strongest_rival = std::max(strongest_rival, count);
+      conflicting += count;
+    }
+  }
+  ctx.note_quorum(static_cast<int>(won) - static_cast<int>(strongest_rival),
+                  conflicting);
+}
+
+}  // namespace
+
 bool Quad::valid_prepare_qc(sim::Context& ctx, const QuorumCert& qc) const {
   return qc.tsig.digest == phase_digest("prepare", qc.view, qc.value_digest) &&
          ctx.keys().verify(qc.tsig);
@@ -233,6 +261,7 @@ void Quad::maybe_form_prepare_qc(sim::Context& ctx) {
     }
     if (!value) continue;
     vs.sent_precommit = true;
+    report_quorum(ctx, vs.prepare_votes, digest);
     QuorumCert qc{cur_view_, digest, *tsig};
     ctx.broadcast(sim::make_payload<MPrecommit>(cur_view_, value, qc));
     return;
@@ -255,6 +284,7 @@ void Quad::maybe_form_commit_qc(sim::Context& ctx) {
     }
     if (!value) continue;
     vs.sent_decide = true;
+    report_quorum(ctx, vs.commit_votes, digest);
     QuorumCert qc{cur_view_, digest, *tsig};
     ctx.broadcast(sim::make_payload<MDecide>(value, qc));
     return;

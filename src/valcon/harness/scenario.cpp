@@ -177,6 +177,10 @@ RunResult run_universal(const ScenarioConfig& cfg,
         make_universal(cfg, v, lambda, std::move(on_decide)));
   };
 
+  // One blackboard per run: colluding strategies coordinate through it
+  // (shared partition plans, withholding ledgers). Builds are sequential in
+  // pid order, so "first builder initializes" is deterministic.
+  StrategyShared shared;
   for (ProcessId p = 0; p < cfg.n; ++p) {
     const auto fault = cfg.faults.find(p);
     if (fault == cfg.faults.end()) {
@@ -199,6 +203,7 @@ RunResult run_universal(const ScenarioConfig& cfg,
         [&make_stack](Value v) {
           return make_stack(v, /*record=*/false, /*is_correct=*/false);
         },
+        /*shared=*/&shared,
     };
     simulator.add_process(
         p, StrategyRegistry::global().make(fault->second.strategy)->build(env));
@@ -211,20 +216,26 @@ RunResult run_universal(const ScenarioConfig& cfg,
   // horizon. The cutoff is in simulated time, so results stay deterministic.
   const int n_correct = cfg.n - static_cast<int>(cfg.faults.size());
   Time cutoff = cfg.horizon;
+  bool grace_armed = false;
   std::uint64_t events = 0;
   while (simulator.step(cutoff)) {
     ++events;
-    if (cutoff == cfg.horizon && *correct_decided == n_correct) {
+    if (!grace_armed && *correct_decided == n_correct) {
+      grace_armed = true;
       cutoff = std::min(cfg.horizon,
                         simulator.now() + cfg.grace_multiplier * cfg.delta);
     }
   }
   result->events = events;
   result->queue_drained = simulator.idle();
+  result->end_time = simulator.now();
+  result->grace_cutoff = grace_armed ? cutoff : -1.0;
   result->message_complexity = simulator.metrics().message_complexity();
   result->word_complexity = simulator.metrics().communication_complexity();
   result->messages_total = simulator.metrics().messages_total();
   result->by_type = simulator.metrics().by_type();
+  result->min_vote_margin = simulator.metrics().near_miss().min_vote_margin;
+  result->conflicting_votes = simulator.metrics().near_miss().conflicting_votes;
   // Crashed processes may have "decided" before crashing; they are faulty,
   // so drop them from the correctness-facing views.
   for (const auto& [pid, fault] : cfg.faults) {

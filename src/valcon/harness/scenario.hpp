@@ -48,6 +48,19 @@ enum class VcKind {
 ///   "adaptive"             — correct stack that watches inbound traffic
 ///                            and, after `observe` deliveries, permanently
 ///                            omits sends to the `victims` busiest senders
+///   "collude-equivocate"   — coordinated split-brain: ALL processes with
+///                            this strategy share one partition plan;
+///                            colluder-to-colluder traffic is face-tagged
+///                            so both world views stay consistent across
+///                            the group, and the first builder holds the
+///                            cross-side outsider links until release_time
+///                            (< 0: the horizon; the network clips held
+///                            deliveries to max(send, GST) + delta)
+///   "collude-withhold"     — quorum-edge withholding: the group behaves
+///                            correctly until a SHARED tally of inbound
+///                            deliveries reaches `observe`, then every
+///                            member simultaneously stops sending to the
+///                            `victims` lowest-id correct processes
 ///
 /// Unused parameters are ignored by a strategy; custom strategies may reuse
 /// any of them.
@@ -102,6 +115,22 @@ struct Fault {
     f.observe = observe;
     return f;
   }
+  [[nodiscard]] static Fault collude_equivocate(Value other,
+                                                Time release = -1.0) {
+    Fault f;
+    f.strategy = "collude-equivocate";
+    f.equivocal_value = other;
+    f.release_time = release;
+    return f;
+  }
+  [[nodiscard]] static Fault collude_withhold(int victims = 1,
+                                              int observe = 8) {
+    Fault f;
+    f.strategy = "collude-withhold";
+    f.victims = victims;
+    f.observe = observe;
+    return f;
+  }
 };
 
 struct ScenarioConfig {
@@ -152,6 +181,26 @@ struct RunResult {
   /// grace_multiplier) or the horizon — with events still pending.
   /// Complexity metrics over a cut run are a lower bound, not a total.
   bool queue_drained = false;
+
+  // Near-miss instrumentation (consumed by the adversary search,
+  // harness/search.hpp — how close did this run get to a violation?).
+  /// Smallest vote margin over the strongest competing digest across every
+  /// quorum certificate a correct process formed; -1 when no correct
+  /// process formed a QC (e.g. the non-authenticated stack, or no
+  /// progress). A margin near 0 means one flipped vote separated the run
+  /// from certifying a conflicting value.
+  int min_vote_margin = -1;
+  /// Total votes correct processes saw land on digests that LOST a quorum
+  /// race — nonzero means conflicting proposals reached the voting stage.
+  std::uint64_t conflicting_votes = 0;
+  /// Simulated time when the run stopped (queue drained or cut).
+  Time end_time = 0.0;
+  /// The decide-then-grace cutoff that was armed (last correct decision +
+  /// grace_multiplier * delta, capped by the horizon), or -1 if every
+  /// correct process never decided so no cutoff was armed. end_time close
+  /// to grace_cutoff (with queue_drained false) means residual traffic was
+  /// still in flight when the run was cut.
+  Time grace_cutoff = -1.0;
 
   [[nodiscard]] bool all_correct_decided(const ScenarioConfig& cfg) const;
   [[nodiscard]] bool agreement() const;

@@ -1,0 +1,215 @@
+// Seeded adversary search with counterexample shrinking.
+//
+// Hand-written adversaries (harness/strategy.hpp) each encode one known
+// attack; the search below *mines* for violations instead: it mutates over
+// the same axes the sweep matrix exposes — adversary strategy (including
+// the colluding multi-process strategies), proposal pattern, network
+// profile, protocol stack, system size, timing and seed — scores
+// non-violating candidates by how close they came to a violation (the
+// near-miss fields on RunResult), and shrinks every violation it finds to
+// a minimal replayable (config, seed) cell.
+//
+// Determinism contract: a search is a pure function of (SearchOptions,
+// search_seed). Candidate evaluation fans out through SweepRunner, whose
+// results are input-ordered and job-count-independent; all random choices
+// come from one sim::Rng consumed on the coordinating thread. So the full
+// SearchReport — byte for byte, via report_json() — is identical whatever
+// --jobs is.
+//
+// Shrinking is axis-wise minimization run to a fixpoint (so it is
+// idempotent: shrinking a shrunk cell changes nothing), followed by seed
+// re-derivation (the smallest seed in [1, seed_tries] that still
+// reproduces the verdict replaces the found seed). Shrunk cells serialize
+// as "valcon-counterexample-v1" JSON; the committed corpus under
+// tests/corpus/ is replayed by the test_corpus_replay target through the
+// exact same candidate_point() -> run_point() path.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "valcon/harness/sweep.hpp"
+
+namespace valcon::harness {
+
+/// What a run did, as a single severity-ordered verdict. kClean means all
+/// three properties held; the three violation verdicts name the *most
+/// severe* violated property (agreement > validity > termination — a
+/// disagreeing run usually also fails validity, and naming it a validity
+/// breach would bury the lede); kError means the run threw.
+enum class Verdict {
+  kClean,
+  kTermination,
+  kAgreement,
+  kValidity,
+  kError,
+};
+
+[[nodiscard]] Verdict classify(const SweepOutcome& outcome);
+
+/// Round-trippable wire tokens ("clean", "termination", "agreement",
+/// "validity", "error").
+[[nodiscard]] std::string verdict_token(Verdict v);
+[[nodiscard]] std::optional<Verdict> verdict_from_token(
+    const std::string& token);
+
+/// Short round-trippable tokens for the corpus cell format. to_string(VcKind)
+/// emits display names ("auth(Alg1)"); cells use "auth" / "nonauth" /
+/// "fast" and "strong" / "weak" / "correct-proposal" / "median" /
+/// "convex-hull".
+[[nodiscard]] std::string vc_token(VcKind vc);
+[[nodiscard]] std::optional<VcKind> vc_from_token(const std::string& token);
+[[nodiscard]] std::string validity_token(ValidityKind kind);
+[[nodiscard]] std::optional<ValidityKind> validity_from_token(
+    const std::string& token);
+
+/// One concrete cell of the search space: every axis pinned. The candidate
+/// is the search's unit of mutation AND the corpus cell's replay identity —
+/// candidate_point() resolves it through a single-cell ScenarioMatrix, so
+/// replay reuses the exact FaultSpec / pattern / profile resolution the
+/// sweep uses (faulty ids are the highest ids, negative fields resolve
+/// per-scenario, near-miss recording is on).
+struct Candidate {
+  std::string strategy = "silent";  // "none" = fault-free
+  int fault_count = -1;             // -1 resolves to t
+  VcKind vc = VcKind::kAuthenticated;
+  ValidityKind validity = ValidityKind::kStrong;
+  std::string pattern = "rotating";
+  std::string net_profile = "uniform";
+  int n = 4;
+  int t = 1;
+  Time gst = 0.0;
+  Time delta = 1.0;
+  Value domain = 3;
+  int victims = -1;  // adaptive / collude-withhold; -1 = Fault default
+  int observe = -1;  // adaptive / collude-withhold; -1 = Fault default
+  std::uint64_t seed = 1;
+
+  [[nodiscard]] bool operator==(const Candidate& other) const;
+  /// Stable human-readable identity (also the dedup key).
+  [[nodiscard]] std::string key() const;
+};
+
+/// Resolves the candidate into a runnable cell via a single-cell
+/// ScenarioMatrix. Throws std::invalid_argument for axis values the
+/// registries reject.
+[[nodiscard]] SweepPoint candidate_point(const Candidate& c);
+
+/// candidate_point() + run_point().
+[[nodiscard]] SweepOutcome evaluate(const Candidate& c);
+
+/// How close a clean run came to a violation; higher = closer. Folds the
+/// RunResult near-miss fields: small positive vote margins, conflicting
+/// votes reaching the voting stage, a run cut by the grace window rather
+/// than draining, and little slack between the end of the run and the
+/// grace cutoff. Deterministic; 0.0 for errored runs.
+[[nodiscard]] double near_miss_score(const SweepOutcome& outcome);
+
+/// The value pools each axis draws from. Defaults are the SOUND regime
+/// (n > 3t): a search over them finding any violation is a bug, which is
+/// exactly what the CI smoke run asserts. Counterexamples for the corpus
+/// come from explicitly unsound sizes (e.g. --sizes 4/2).
+struct SearchSpace {
+  std::vector<std::string> strategies{
+      "silent",       "crash",           "equivocate",
+      "delay",        "mutate",          "equivocate-scheduled",
+      "adaptive",     "collude-equivocate", "collude-withhold"};
+  std::vector<VcKind> vcs{VcKind::kAuthenticated, VcKind::kNonAuthenticated,
+                          VcKind::kFast};
+  std::vector<ValidityKind> validities{ValidityKind::kStrong};
+  std::vector<std::string> patterns{"rotating", "unanimous", "split",
+                                    "adversarial"};
+  std::vector<std::string> net_profiles{"uniform", "pre-gst-starve",
+                                        "targeted-slow-links"};
+  std::vector<std::pair<int, int>> sizes{{4, 1}, {7, 2}};
+  std::vector<Time> gsts{0.0, 5.0, 30.0};
+  std::vector<Time> deltas{1.0};
+  std::vector<Value> domains{3};
+};
+
+struct SearchOptions {
+  SearchSpace space;
+  std::uint64_t search_seed = 1;
+  /// Total candidate evaluations the generational loop may spend (shrink
+  /// probes are budgeted separately, see max_shrink_probes).
+  int budget = 256;
+  /// Candidates evaluated per generation.
+  int population = 16;
+  int jobs = 1;
+  bool shrink = true;
+  /// Upper bound on shrink probes per counterexample.
+  int max_shrink_probes = 256;
+  /// Seed re-derivation tries the smallest reproducing seed in
+  /// [1, seed_tries].
+  int seed_tries = 16;
+};
+
+/// One found-and-shrunk violation.
+struct Counterexample {
+  Candidate candidate;  // the shrunk cell
+  Verdict verdict = Verdict::kClean;
+  /// Outcome of the shrunk cell (re-evaluated after shrinking).
+  SweepOutcome outcome;
+  int shrink_probes = 0;  // probes spent minimizing this cell
+};
+
+struct SearchReport {
+  std::uint64_t search_seed = 0;
+  int budget = 0;
+  std::uint64_t evaluated = 0;  // generational evaluations actually spent
+  std::uint64_t errors = 0;     // candidates whose run threw (not shrunk)
+  /// Shrunk violations, deduplicated by Candidate::key(), in discovery
+  /// order.
+  std::vector<Counterexample> counterexamples;
+  /// Best near-miss among clean candidates (score then discovery order).
+  double best_score = 0.0;
+  std::optional<Candidate> best_candidate;
+};
+
+/// Runs the generational search loop: seed a population from the space,
+/// evaluate a generation through SweepRunner, collect violations, select
+/// near-miss elites, mutate them into the next generation, repeat until
+/// the budget is spent; then shrink every distinct violation. Throws
+/// std::invalid_argument for an empty axis pool or non-positive
+/// budget/population.
+[[nodiscard]] SearchReport run_search(const SearchOptions& options);
+
+/// Axis-wise minimization of a violating candidate to a fixpoint, then
+/// seed re-derivation. Returns the counterexample with the shrunk cell
+/// re-evaluated. `probes` (optional) receives the number of evaluations
+/// spent. Precondition: classify(evaluate(c)) == verdict.
+[[nodiscard]] Counterexample shrink(const Candidate& c, Verdict verdict,
+                                    const SearchOptions& options);
+
+// ------------------------------------------------------------ wire format
+
+/// Serializes one counterexample as a "valcon-counterexample-v1" JSON
+/// object (multi-line, trailing newline): the candidate axes plus an
+/// "expect" block with the verdict and the decided/agreement/validity_ok
+/// flags the replay must reproduce. Deterministic bytes.
+[[nodiscard]] std::string cell_json(const Counterexample& cx);
+
+/// Parses a cell written by cell_json() (strict: unknown schema or any
+/// missing/malformed field throws std::runtime_error). Returns the
+/// candidate plus the expected verdict and flags.
+struct CorpusCell {
+  Candidate candidate;
+  Verdict verdict = Verdict::kClean;
+  bool expect_decided = false;
+  bool expect_agreement = true;
+  bool expect_validity_ok = true;
+};
+[[nodiscard]] CorpusCell parse_cell(const std::string& json);
+
+/// Canonical file name for a cell within a corpus directory.
+[[nodiscard]] std::string cell_filename(const Counterexample& cx);
+
+/// The whole report as deterministic JSON (no wall-clock, no host state):
+/// header (search_seed, budget, evaluated), the shrunk counterexample
+/// cells, and the best near-miss block.
+[[nodiscard]] std::string report_json(const SearchReport& report);
+
+}  // namespace valcon::harness

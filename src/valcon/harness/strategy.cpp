@@ -117,6 +117,124 @@ class AdaptiveStrategy final : public Strategy {
   }
 };
 
+/// Shared partition plan of a collude-equivocate group: the sorted colluder
+/// ids, the side assignment for every outsider, and whether the cross-side
+/// network holds were already installed (the first builder does it once for
+/// the whole group).
+struct CollusionPlan {
+  std::vector<ProcessId> colluders;
+  std::vector<int> side;  // indexed by pid; colluders' own entries unused
+  bool holds_installed = false;
+};
+
+/// Builds (once per run) the partition plan shared by every process whose
+/// fault uses `strategy_name`: colluders are all such processes, outsiders
+/// are split lower-half / upper-half into sides 0 and 1.
+std::shared_ptr<CollusionPlan> collusion_plan(const StrategyEnv& env,
+                                              const char* strategy_name) {
+  auto plan = env.shared_state().get_or_make<CollusionPlan>(
+      std::string(strategy_name) + "/plan");
+  if (plan->side.empty()) {
+    plan->side.assign(static_cast<std::size_t>(env.cfg.n), 0);
+    for (const auto& [pid, fault] : env.cfg.faults) {
+      if (fault.strategy == strategy_name) plan->colluders.push_back(pid);
+    }
+    std::vector<ProcessId> outsiders;
+    for (ProcessId q = 0; q < env.cfg.n; ++q) {
+      const auto it = env.cfg.faults.find(q);
+      if (it == env.cfg.faults.end() || it->second.strategy != strategy_name) {
+        outsiders.push_back(q);
+      }
+    }
+    const std::size_t half = (outsiders.size() + 1) / 2;
+    for (std::size_t i = 0; i < outsiders.size(); ++i) {
+      plan->side[static_cast<std::size_t>(outsiders[i])] = i < half ? 0 : 1;
+    }
+  }
+  return plan;
+}
+
+/// "collude-equivocate" — the Lemma 2 partition adversary executed by the
+/// whole colluding group at once. Every colluder runs two faces (own
+/// proposal vs. fault.equivocal_value) with ONE shared side assignment, and
+/// colluder-to-colluder traffic is face-tagged so both world views stay
+/// mutually consistent across the group. The first builder additionally
+/// holds the outsider-to-outsider cross-side links until release_time
+/// (default: the horizon) — the network clips every held delivery to
+/// max(send, GST) + delta (sim/network.hpp), so the partition heals itself
+/// at GST and the schedule stays within the model. In the sound regime
+/// (n > 3t) this cannot create disagreement; at n <= 3t each side can reach
+/// quorum alone pre-GST, which is exactly the counterexample the adversary
+/// search mines for.
+class ColludeEquivocateStrategy final : public Strategy {
+ public:
+  std::unique_ptr<sim::Process> build(const StrategyEnv& env) const override {
+    auto plan = collusion_plan(env, "collude-equivocate");
+    if (!plan->holds_installed) {
+      plan->holds_installed = true;
+      const Time release = env.fault.release_time >= 0
+                               ? env.fault.release_time
+                               : env.cfg.horizon;
+      std::vector<ProcessId> side0;
+      std::vector<ProcessId> side1;
+      for (ProcessId q = 0; q < env.cfg.n; ++q) {
+        const auto it = env.cfg.faults.find(q);
+        if (it != env.cfg.faults.end() &&
+            it->second.strategy == "collude-equivocate") {
+          continue;
+        }
+        (plan->side[static_cast<std::size_t>(q)] == 0 ? side0 : side1)
+            .push_back(q);
+      }
+      env.sim.network().hold_between(side0, side1, release);
+    }
+    return std::make_unique<sim::ColludingFacedProcess>(
+        env.shadow_stack(env.own_proposal()),
+        env.shadow_stack(env.fault.equivocal_value),
+        [plan](ProcessId q) {
+          return plan->side[static_cast<std::size_t>(q)];
+        },
+        plan->colluders);
+  }
+};
+
+/// "collude-withhold" — quorum-edge vote withholding: the group behaves
+/// correctly while a SHARED tally of inbound deliveries (summed over all
+/// members) is below fault.observe; the delivery that trips it makes every
+/// member simultaneously stop sending to the fault.victims lowest-id
+/// correct processes. The shared trip wire is what a lone AdaptiveOmitShim
+/// cannot do: all colluding votes vanish from the victims' quorums at one
+/// logical instant, mid-protocol.
+class ColludeWithholdStrategy final : public Strategy {
+ public:
+  std::unique_ptr<sim::Process> build(const StrategyEnv& env) const override {
+    auto ledger = env.shared_state().get_or_make<sim::WithholdLedger>(
+        "collude-withhold/ledger");
+    if (!ledger->configured) {
+      ledger->configured = true;
+      ledger->threshold = static_cast<std::uint64_t>(
+          env.fault.observe > 0 ? env.fault.observe : 0);
+      int want = env.fault.victims;
+      for (ProcessId q = 0; q < env.cfg.n && want > 0; ++q) {
+        if (env.cfg.faults.count(q) == 0) {
+          ledger->victims.push_back(q);
+          --want;
+        }
+      }
+    }
+    return std::make_unique<sim::ColludingOmitShim>(
+        env.recorded_stack(env.own_proposal()), std::move(ledger));
+  }
+  void validate(const Fault& fault, const ScenarioConfig&) const override {
+    if (fault.victims < 0) {
+      bad_param("collude-withhold", "victims must be >= 0");
+    }
+    if (fault.observe < 0) {
+      bad_param("collude-withhold", "observe must be >= 0");
+    }
+  }
+};
+
 template <typename T>
 void add_builtin(StrategyRegistry& registry, const std::string& name) {
   registry.add(name, [] { return std::make_unique<T>(); });
@@ -134,6 +252,8 @@ StrategyRegistry& StrategyRegistry::global() {
     add_builtin<MutateStrategy>(*r, "mutate");
     add_builtin<ScheduledEquivocateStrategy>(*r, "equivocate-scheduled");
     add_builtin<AdaptiveStrategy>(*r, "adaptive");
+    add_builtin<ColludeEquivocateStrategy>(*r, "collude-equivocate");
+    add_builtin<ColludeWithholdStrategy>(*r, "collude-withhold");
     return r;
   }();
   return *registry;

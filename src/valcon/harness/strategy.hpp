@@ -20,13 +20,49 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <stdexcept>
 #include <string>
+#include <typeinfo>
 #include <vector>
 
 #include "valcon/harness/scenario.hpp"
 #include "valcon/sim/simulator.hpp"
 
 namespace valcon::harness {
+
+/// Per-run blackboard for *colluding* strategies: faulty processes built by
+/// the same (or cooperating) strategies in one run share state through it —
+/// a common partition plan, a joint vote-withholding ledger. run_universal
+/// creates one instance per run and hands every StrategyEnv a pointer, so
+/// shared state never leaks across runs (or across the concurrent runs of a
+/// sweep). Builds within one run are sequential; no locking.
+class StrategyShared {
+ public:
+  /// Returns the slot registered under `key`, default-constructing a T on
+  /// first use. All callers for one key must agree on T (checked: a
+  /// mismatched type throws std::logic_error).
+  template <typename T>
+  std::shared_ptr<T> get_or_make(const std::string& key) {
+    auto [it, inserted] = slots_.try_emplace(key);
+    if (inserted) {
+      auto made = std::make_shared<T>();
+      it->second = Slot{made, &typeid(T)};
+      return made;
+    }
+    if (*it->second.type != typeid(T)) {
+      throw std::logic_error("StrategyShared: key '" + key +
+                             "' already holds a different type");
+    }
+    return std::static_pointer_cast<T>(it->second.value);
+  }
+
+ private:
+  struct Slot {
+    std::shared_ptr<void> value;
+    const std::type_info* type = nullptr;
+  };
+  std::map<std::string, Slot> slots_;
+};
 
 /// Everything a Strategy may use while installing the process for one
 /// faulty id. The stack factories build a full Universal stack (the same
@@ -46,9 +82,24 @@ struct StrategyEnv {
   /// equivocation faces, where per-face decisions are meaningless.
   std::function<std::unique_ptr<sim::Process>(Value proposal)> shadow_stack;
 
+  /// Per-run blackboard for colluding strategies (see StrategyShared).
+  /// Null only in hand-rolled test environments that predate collusion.
+  StrategyShared* shared = nullptr;
+
   /// The proposal ScenarioConfig assigns to `self`.
   [[nodiscard]] Value own_proposal() const {
     return cfg.proposals[static_cast<std::size_t>(self)];
+  }
+
+  /// The blackboard, for strategies that require one. Throws
+  /// std::logic_error if the harness did not provide it.
+  [[nodiscard]] StrategyShared& shared_state() const {
+    if (shared == nullptr) {
+      throw std::logic_error(
+          "StrategyEnv.shared is null: colluding strategies need the "
+          "run-scoped StrategyShared that run_universal provides");
+    }
+    return *shared;
   }
 };
 
@@ -73,9 +124,10 @@ class Strategy {
 
 /// String-keyed factory registry. The global() instance starts with the
 /// built-in strategies ("silent", "crash", "equivocate", "delay", "mutate",
-/// "equivocate-scheduled", "adaptive") registered; libraries and tests add
-/// their own with add(). Lookups are thread-safe (sweep workers resolve
-/// strategies concurrently).
+/// "equivocate-scheduled", "adaptive", "collude-equivocate",
+/// "collude-withhold") registered; libraries and tests add their own with
+/// add(). Lookups are thread-safe (sweep workers resolve strategies
+/// concurrently).
 class StrategyRegistry {
  public:
   using Factory = std::function<std::unique_ptr<Strategy>()>;

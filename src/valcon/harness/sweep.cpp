@@ -7,6 +7,7 @@
 #include <exception>
 #include <map>
 #include <mutex>
+#include <set>
 #include <stdexcept>
 #include <thread>
 
@@ -157,6 +158,17 @@ ScenarioMatrix& ScenarioMatrix::proposal_domain(Value domain_size) {
   domain_ = domain_size;
   return *this;
 }
+ScenarioMatrix& ScenarioMatrix::record_near_miss(bool enabled) {
+  near_miss_ = enabled;
+  return *this;
+}
+ScenarioMatrix& ScenarioMatrix::horizon(Time cap) {
+  if (cap <= 0.0) {
+    throw std::invalid_argument("horizon must be positive");
+  }
+  horizon_ = cap;
+  return *this;
+}
 
 std::size_t ScenarioMatrix::size() const {
   return vcs_.size() * validities_.size() * patterns_.size() *
@@ -231,6 +243,7 @@ SweepPoint ScenarioMatrix::point_at(std::size_t index) const {
   cfg.gst = gst;
   cfg.seed = seed;
   cfg.vc = vc;
+  cfg.horizon = horizon_;
   cfg.net_profile = named_network_profile(profile_name);
   const PatternEnv penv{n, t, seed, domain_, validity};
   cfg.proposals = PatternRegistry::global().make(pattern_name)->assign(penv);
@@ -288,6 +301,7 @@ SweepPoint ScenarioMatrix::point_at(std::size_t index) const {
     point.net_profile_tag = profile_name;
     point.label += " net=" + profile_name;
   }
+  point.near_miss = near_miss_;
   return point;
 }
 
@@ -320,24 +334,20 @@ SweepOutcome run_point(const SweepPoint& point) {
     stamp();
     return outcome;
   }
-  outcome.decided = outcome.result.all_correct_decided(cfg);
-  outcome.agreement = outcome.result.agreement();
-
-  // The execution's real input configuration: the correct processes and
-  // their proposals (every process in cfg.faults counts as faulty).
-  core::InputConfig real(cfg.n);
-  for (ProcessId p = 0; p < cfg.n; ++p) {
-    if (cfg.faults.count(p) == 0) {
-      real.set(p, cfg.proposals[static_cast<std::size_t>(p)]);
-    }
-  }
-  outcome.validity_ok = true;
-  for (const auto& [pid, v] : outcome.result.decisions) {
-    if (!validity->admissible(real, v)) {
-      outcome.validity_ok = false;
-      break;
-    }
-  }
+  // One formal judgment for the three properties: check_execution builds
+  // input_conf(E) from the correct proposals and returns the per-property
+  // verdicts plus human-readable violation messages. The boolean flags are
+  // derived from the report, so the wire format is unchanged while callers
+  // (the adversary search above all) can tell a liveness miss from a
+  // validity breach.
+  std::set<ProcessId> faulty;
+  for (const auto& [pid, fault] : cfg.faults) faulty.insert(pid);
+  outcome.report = core::check_execution(*validity, cfg.n, cfg.t,
+                                         cfg.proposals, faulty,
+                                         outcome.result.decisions);
+  outcome.decided = outcome.report.termination;
+  outcome.agreement = outcome.report.agreement;
+  outcome.validity_ok = outcome.report.validity;
   stamp();
   return outcome;
 }

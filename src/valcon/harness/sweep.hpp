@@ -14,6 +14,7 @@
 #include <utility>
 #include <vector>
 
+#include "valcon/core/execution_checker.hpp"
 #include "valcon/core/validity.hpp"
 #include "valcon/harness/scenario.hpp"
 #include "valcon/harness/validity_kind.hpp"
@@ -65,6 +66,10 @@ struct SweepPoint {
   /// keeps the pinned legacy matrices ("full") byte-identical.
   std::string pattern_tag;
   std::string net_profile_tag;
+  /// Wire-format gate for the near-miss axis (same convention as the tags
+  /// above): true only when the matrix opted in via record_near_miss(), so
+  /// legacy outcome lines never grow the new fields.
+  bool near_miss = false;
 };
 
 /// Builder for the cross product. Each setter replaces one dimension; the
@@ -104,6 +109,18 @@ class ScenarioMatrix {
   /// The finite proposal domain [0, domain_size) the patterns draw from.
   /// Throws std::invalid_argument for domain_size < 2.
   ScenarioMatrix& proposal_domain(Value domain_size);
+  /// Opt into the near-miss wire fields (SweepPoint::near_miss on every
+  /// cell): outcome lines gain margin / conflicting-vote / slack fields.
+  /// Off by default so every pinned legacy matrix stays byte-identical.
+  ScenarioMatrix& record_near_miss(bool enabled = true);
+  /// Simulated-time horizon for every cell (ScenarioConfig::horizon).
+  /// The default matches ScenarioConfig's (1e9) — effectively unbounded,
+  /// which is fine for curated matrices where every run decides. The
+  /// adversary search lowers it: a stalled stack re-arms view timers
+  /// forever, so a non-terminating candidate would otherwise grind through
+  /// events to 1e9 simulated time. Throws std::invalid_argument unless
+  /// positive.
+  ScenarioMatrix& horizon(Time cap);
 
   /// Number of cells the cross product will produce.
   [[nodiscard]] std::size_t size() const;
@@ -138,17 +155,24 @@ class ScenarioMatrix {
   std::vector<Time> deltas_{1.0};
   std::vector<std::uint64_t> seeds_{1};
   Value domain_ = 3;
+  Time horizon_ = 1e9;
+  bool near_miss_ = false;
 };
 
 /// Result of one cell: the raw RunResult plus the verdicts of the paper's
 /// three properties (Termination / Agreement / Validity) against the real
-/// input configuration of the execution.
+/// input configuration of the execution. The flags are derived from
+/// `report` (core::check_execution over the pruned correct-process
+/// decisions), which also carries the per-property violation messages —
+/// so a liveness miss and a validity breach are distinguishable at a
+/// glance.
 struct SweepOutcome {
   SweepPoint point;
   RunResult result;
-  bool decided = false;      // every correct process decided
-  bool agreement = true;     // no two correct decisions differ
-  bool validity_ok = true;   // decisions admissible under the real config
+  core::ExecutionReport report;
+  bool decided = false;      // = report.termination
+  bool agreement = true;     // = report.agreement
+  bool validity_ok = true;   // = report.validity
   std::string error;         // exception text if the run threw
   /// Wall-clock time run_point spent on this cell, in microseconds. NOT
   /// deterministic — excluded from the sweep wire format; surfaces only in

@@ -243,7 +243,19 @@ std::string outcome_line(const SweepOutcome& o) {
      << ", \"message_complexity\": " << o.result.message_complexity
      << ", \"word_complexity\": " << o.result.word_complexity
      << ", \"messages_total\": " << o.result.messages_total
-     << ", \"events\": " << o.result.events << "}";
+     << ", \"events\": " << o.result.events;
+  // The near-miss fields exist only when the matrix opted in
+  // (ScenarioMatrix::record_near_miss) — same gating convention as the
+  // pattern/net_profile fields above, so every pinned legacy document
+  // keeps its exact bytes.
+  if (o.point.near_miss) {
+    os << ", \"min_vote_margin\": " << o.result.min_vote_margin
+       << ", \"conflicting_votes\": " << o.result.conflicting_votes
+       << ", \"queue_drained\": " << (o.result.queue_drained ? "true" : "false")
+       << ", \"end_time\": " << json_number(o.result.end_time)
+       << ", \"grace_cutoff\": " << json_number(o.result.grace_cutoff);
+  }
+  os << "}";
   return os.str();
 }
 

@@ -19,6 +19,13 @@
 //                        garbage, or duplicated.
 //  * AdaptiveOmitShim  — adaptive corruption: observes inbound traffic and
 //                        silences itself towards the most talkative senders.
+//  * ColludingFacedProcess / ColludingOmitShim — coordinated multi-process
+//                        adversaries: a whole group of faulty processes
+//                        jointly executes the Lemma 2 partition (consistent
+//                        face pairs) or withholds votes at the quorum edge
+//                        (one shared trip wire). The shared state that makes
+//                        them agree is plumbed by the harness strategy layer
+//                        (harness/strategy.hpp: StrategyShared).
 //
 // All randomness flows through the per-process Rng of the Context, so every
 // behavior is a deterministic function of (configuration, seed).
@@ -343,6 +350,156 @@ class AdaptiveOmitShim final : public Process {
   bool chosen_ = false;
   std::map<ProcessId, std::uint64_t> counts_;
   std::vector<ProcessId> victim_ids_;
+};
+
+/// Coordinated split-brain for a whole *group* of colluders — the Lemma 2
+/// partition adversary executed jointly. Like TwoFacedProcess, every member
+/// runs two full protocol stacks, one per partition side; unlike a lone
+/// equivocator, messages between group members carry a face tag (the
+/// TwoFacedProcess::FacedSelfMsg wrapper, whose routing is sender-agnostic),
+/// so each member keeps BOTH world views consistent with every other member.
+/// Outsiders assigned to side 0 observe one coherent system in which all
+/// colluders participate, outsiders on side 1 a different one. The side
+/// assignment must be identical across the group; it comes from shared
+/// per-run state (harness/strategy.hpp: StrategyShared). Sends to an
+/// outsider on the other side are dropped.
+class ColludingFacedProcess final : public Process {
+ public:
+  using Side = std::function<int(ProcessId)>;
+
+  ColludingFacedProcess(std::unique_ptr<Process> face0,
+                        std::unique_ptr<Process> face1, Side side,
+                        std::vector<ProcessId> colluders)
+      : side_(std::move(side)), colluders_(std::move(colluders)) {
+    faces_[0] = std::move(face0);
+    faces_[1] = std::move(face1);
+  }
+
+  void on_start(Context& ctx) override {
+    for (int f = 0; f < 2; ++f) {
+      FaceCtx fctx(this, ctx, f);
+      faces_[static_cast<std::size_t>(f)]->on_start(fctx);
+    }
+  }
+
+  void on_message(Context& ctx, ProcessId from, const PayloadPtr& m) override {
+    // Face-tagged messages (from self or a co-colluder) return to the
+    // tagged face; outsider messages are routed by the sender's side.
+    if (const auto* tagged =
+            dynamic_cast<const TwoFacedProcess::FacedSelfMsg*>(m.get())) {
+      FaceCtx fctx(this, ctx, tagged->face);
+      faces_[static_cast<std::size_t>(tagged->face)]->on_message(fctx, from,
+                                                                 tagged->inner);
+      return;
+    }
+    const int f = side_(from);
+    FaceCtx fctx(this, ctx, f);
+    faces_[static_cast<std::size_t>(f)]->on_message(fctx, from, m);
+  }
+
+  void on_timer(Context& ctx, std::uint64_t tag) override {
+    const int f = static_cast<int>(tag & 1);
+    FaceCtx fctx(this, ctx, f);
+    faces_[static_cast<std::size_t>(f)]->on_timer(fctx, tag >> 1);
+  }
+
+ private:
+  [[nodiscard]] bool colludes_with(ProcessId q) const {
+    return std::find(colluders_.begin(), colluders_.end(), q) !=
+           colluders_.end();
+  }
+
+  class FaceCtx final : public ForwardingContext {
+   public:
+    FaceCtx(ColludingFacedProcess* shim, Context& base, int face)
+        : ForwardingContext(base), shim_(shim), face_(face) {}
+
+    void send(ProcessId to, PayloadPtr payload) override {
+      if (to == id() || shim_->colludes_with(to)) {
+        ForwardingContext::send(
+            to, make_payload<TwoFacedProcess::FacedSelfMsg>(
+                    face_, std::move(payload)));
+        return;
+      }
+      if (shim_->side_(to) != face_) return;
+      ForwardingContext::send(to, std::move(payload));
+    }
+    void set_timer(Time delay, std::uint64_t tag) override {
+      ForwardingContext::set_timer(
+          delay, (tag << 1) | static_cast<std::uint64_t>(face_));
+    }
+
+   private:
+    ColludingFacedProcess* shim_;
+    int face_;
+  };
+
+  std::array<std::unique_ptr<Process>, 2> faces_;
+  Side side_;
+  std::vector<ProcessId> colluders_;
+};
+
+/// Shared state of a vote-withholding collusion group: the victim set, the
+/// delivery threshold, and the group-wide tally of deliveries observed so
+/// far. Every member holds the same instance (built once per run via the
+/// harness StrategyShared blackboard), so the cut below trips for the whole
+/// group at one logical instant. Runs are single-threaded, so the bare
+/// counter is deterministic — delivery order is a function of (config, seed).
+struct WithholdLedger {
+  std::vector<ProcessId> victims;
+  std::uint64_t threshold = 0;
+  std::uint64_t deliveries = 0;
+  bool configured = false;  // set by whoever fills victims/threshold first
+  [[nodiscard]] bool tripped() const { return deliveries >= threshold; }
+};
+
+/// Quorum-edge vote withholding: behaves correctly (proposes, votes,
+/// relays) while the group's shared tally is below the threshold; from the
+/// delivery that trips it, every member simultaneously stops sending to the
+/// victim set. A lone AdaptiveOmitShim can only remove itself from a
+/// victim's quorums; a group tripping together removes ALL colluders'
+/// votes mid-protocol — the quorum edge.
+class ColludingOmitShim final : public Process {
+ public:
+  ColludingOmitShim(std::unique_ptr<Process> inner,
+                    std::shared_ptr<WithholdLedger> ledger)
+      : inner_(std::move(inner)), ledger_(std::move(ledger)) {}
+
+  void on_start(Context& ctx) override {
+    OmitCtx octx(this, ctx);
+    inner_->on_start(octx);
+  }
+  void on_message(Context& ctx, ProcessId from, const PayloadPtr& m) override {
+    ++ledger_->deliveries;
+    OmitCtx octx(this, ctx);
+    inner_->on_message(octx, from, m);
+  }
+  void on_timer(Context& ctx, std::uint64_t tag) override {
+    OmitCtx octx(this, ctx);
+    inner_->on_timer(octx, tag);
+  }
+
+ private:
+  class OmitCtx final : public ForwardingContext {
+   public:
+    OmitCtx(ColludingOmitShim* shim, Context& base)
+        : ForwardingContext(base), shim_(shim) {}
+
+    void send(ProcessId to, PayloadPtr payload) override {
+      if (shim_->ledger_->tripped()) {
+        for (ProcessId victim : shim_->ledger_->victims) {
+          if (victim == to) return;
+        }
+      }
+      ForwardingContext::send(to, std::move(payload));
+    }
+
+   private:
+    ColludingOmitShim* shim_;
+  };
+
+  std::unique_ptr<Process> inner_;
+  std::shared_ptr<WithholdLedger> ledger_;
 };
 
 }  // namespace valcon::sim

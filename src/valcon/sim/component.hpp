@@ -187,6 +187,9 @@ class Mux : public Component {
     void set_timer(Time delay, std::uint64_t tag) override {
       base().set_timer(delay, tag * kTagRadix + idx_ + 1);
     }
+    void note_quorum(int margin, std::uint64_t conflicting) override {
+      base().note_quorum(margin, conflicting);
+    }
     [[nodiscard]] const crypto::KeyRegistry& keys() const override {
       return base().keys();
     }

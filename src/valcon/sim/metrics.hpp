@@ -24,6 +24,21 @@
 
 namespace valcon::sim {
 
+/// Near-miss counters for the adversary search (harness/search.hpp): how
+/// close the execution came to a safety violation, reported by correct
+/// processes at quorum-certificate formation (Context::note_quorum).
+struct NearMiss {
+  /// Minimum over all QCs formed by correct processes of (votes for the
+  /// winning digest − votes for the strongest competing digest in the same
+  /// view/phase); -1 when no correct process ever formed a QC (e.g. the
+  /// non-authenticated stack, which does not run Quad). A small margin
+  /// means the adversary nearly split the voters.
+  int min_vote_margin = -1;
+  /// Total votes correct processes collected for digests that lost their
+  /// view — nonzero only when an adversary made voters disagree.
+  std::uint64_t conflicting_votes = 0;
+};
+
 class Metrics {
  public:
   void on_send(bool sender_correct, bool post_gst, std::size_t words,
@@ -66,10 +81,24 @@ class Metrics {
     return out;
   }
 
+  /// Records a quorum certificate formed by a correct process: the margin
+  /// over the strongest competitor and the votes the losers collected.
+  /// Cold path (at most one QC per view per phase), so a branch and an add
+  /// cost nothing next to on_send.
+  void on_quorum(int margin, std::uint64_t conflicting) {
+    if (near_miss_.min_vote_margin < 0 || margin < near_miss_.min_vote_margin) {
+      near_miss_.min_vote_margin = margin;
+    }
+    near_miss_.conflicting_votes += conflicting;
+  }
+
+  [[nodiscard]] const NearMiss& near_miss() const { return near_miss_; }
+
   void reset() {
     messages_total_ = words_total_ = 0;
     messages_post_gst_ = words_post_gst_ = 0;
     by_type_.clear();
+    near_miss_ = NearMiss{};
   }
 
  private:
@@ -78,6 +107,7 @@ class Metrics {
   std::uint64_t messages_post_gst_ = 0;
   std::uint64_t words_post_gst_ = 0;
   std::vector<std::uint64_t> by_type_;  // indexed by PayloadTypeId
+  NearMiss near_miss_;
 };
 
 }  // namespace valcon::sim

@@ -43,6 +43,14 @@ class Context {
   /// cancelled; protocols must guard stale timers with their own state.
   virtual void set_timer(Time delay, std::uint64_t tag) = 0;
 
+  /// Near-miss reporting channel: protocol code calls this when it forms a
+  /// quorum certificate, passing the vote margin over the strongest
+  /// competing digest and the total votes the losers collected. The
+  /// simulator folds reports from correct processes into its Metrics
+  /// (sim/metrics.hpp: NearMiss); the default is a no-op so shims,
+  /// multiplexers and test contexts need not care.
+  virtual void note_quorum(int /*margin*/, std::uint64_t /*conflicting*/) {}
+
   [[nodiscard]] virtual const crypto::KeyRegistry& keys() const = 0;
   [[nodiscard]] virtual const crypto::Signer& signer() const = 0;
   [[nodiscard]] virtual Rng& rng() = 0;
@@ -76,6 +84,9 @@ class ForwardingContext : public Context {
   }
   void set_timer(Time delay, std::uint64_t tag) override {
     base_.set_timer(delay, tag);
+  }
+  void note_quorum(int margin, std::uint64_t conflicting) override {
+    base_.note_quorum(margin, conflicting);
   }
   [[nodiscard]] const crypto::KeyRegistry& keys() const override {
     return base_.keys();

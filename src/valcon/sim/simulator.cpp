@@ -30,6 +30,16 @@ class Simulator::ProcessContext final : public Context {
     sim_->do_set_timer(id_, delay, tag);
   }
 
+  void note_quorum(int margin, std::uint64_t conflicting) override {
+    // Only correct processes feed the near-miss counters: a faulty shim's
+    // inner stacks (equivocation faces etc.) form QCs of their own, and
+    // counting those would report the adversary's private state as a
+    // near-miss observed by the system.
+    if (sim_->faulty_[static_cast<std::size_t>(id_)] == 0) {
+      sim_->metrics_.on_quorum(margin, conflicting);
+    }
+  }
+
   [[nodiscard]] const crypto::KeyRegistry& keys() const override {
     return *sim_->keys_;
   }

@@ -7,9 +7,11 @@
 #include <algorithm>
 #include <set>
 #include <stdexcept>
+#include <string>
 
 #include "valcon/core/lambda.hpp"
 #include "valcon/harness/sweep.hpp"
+#include "valcon/harness/sweep_io.hpp"
 
 using namespace valcon;
 using namespace valcon::core;
@@ -331,6 +333,59 @@ TEST(FaultEdges, LastDecisionTimeExcludesFaultyDecisions) {
     last_correct = std::max(last_correct, when);
   }
   EXPECT_EQ(result.last_decision_time, last_correct);
+}
+
+// ----------------------------------------------- checker-derived verdicts
+
+TEST(SweepOutcome, FlagsAreDerivedFromTheExecutionReport) {
+  // run_point no longer computes decided/agreement/validity_ok by hand:
+  // they are exactly the ExecutionReport of core::check_execution over the
+  // (already faulty-pruned) decisions, so a violation always comes with
+  // its human-readable reason.
+  const auto outcomes = SweepRunner(4).run(
+      harness::named_matrix("byzantine").build());
+  for (const auto& outcome : outcomes) {
+    SCOPED_TRACE(outcome.point.label);
+    ASSERT_TRUE(outcome.error.empty());
+    EXPECT_EQ(outcome.decided, outcome.report.termination);
+    EXPECT_EQ(outcome.agreement, outcome.report.agreement);
+    EXPECT_EQ(outcome.validity_ok, outcome.report.validity);
+    EXPECT_EQ(outcome.report.ok(), outcome.report.violations.empty());
+  }
+}
+
+TEST(SweepPoint, NearMissRecordingIsOffByDefaultAndGatesTheWireFields) {
+  // The near-miss axis follows the pat=/net= tag convention: a matrix that
+  // never opted in produces bytes identical to the pinned legacy format,
+  // so tests/golden/full.sha256 cannot move.
+  ScenarioMatrix matrix;
+  matrix.vc_kinds({VcKind::kAuthenticated}).seeds({1});
+  const SweepPoint legacy = matrix.point_at(0);
+  EXPECT_FALSE(legacy.near_miss);
+  const std::string legacy_line =
+      harness::io::outcome_line(harness::run_point(legacy));
+  EXPECT_EQ(legacy_line.find("min_vote_margin"), std::string::npos);
+  EXPECT_EQ(legacy_line.find("queue_drained"), std::string::npos);
+
+  matrix.record_near_miss();
+  const SweepPoint recorded = matrix.point_at(0);
+  EXPECT_TRUE(recorded.near_miss);
+  const std::string line =
+      harness::io::outcome_line(harness::run_point(recorded));
+  EXPECT_NE(line.find("\"min_vote_margin\": "), std::string::npos);
+  EXPECT_NE(line.find("\"conflicting_votes\": "), std::string::npos);
+  EXPECT_NE(line.find("\"queue_drained\": "), std::string::npos);
+  EXPECT_NE(line.find("\"end_time\": "), std::string::npos);
+  EXPECT_NE(line.find("\"grace_cutoff\": "), std::string::npos);
+}
+
+TEST(ScenarioMatrix, HorizonDefaultsUnboundedAndRejectsNonPositive) {
+  ScenarioMatrix matrix;
+  EXPECT_EQ(matrix.point_at(0).config.horizon, ScenarioConfig{}.horizon);
+  matrix.horizon(42.0);
+  EXPECT_EQ(matrix.point_at(0).config.horizon, 42.0);
+  EXPECT_THROW(matrix.horizon(0.0), std::invalid_argument);
+  EXPECT_THROW(matrix.horizon(-1.0), std::invalid_argument);
 }
 
 // ------------------------------------------------------------ validation

@@ -405,7 +405,13 @@ def collect_files(paths):
     files = []
     for path in paths:
         if os.path.isfile(path):
-            files.append(path)
+            # Only C++ sources carry the determinism rules.  Data files ride
+            # along in linted trees — most prominently the committed
+            # adversary-search corpus (tests/corpus/*.json), whose cells are
+            # machine-generated wire format, not source — and are exempt
+            # even when named explicitly.
+            if path.endswith(CPP_EXTENSIONS):
+                files.append(path)
         elif os.path.isdir(path):
             for root, dirs, names in os.walk(path):
                 dirs.sort()

@@ -1,0 +1,234 @@
+// valcon_search — seeded adversary search: mutates over adversary
+// strategy, proposal pattern, network profile and the ScenarioConfig
+// parameters, scores candidates by how close they came to a violation
+// (the near-miss fields on RunResult), and shrinks every violation to a
+// minimal replayable (config, seed) cell.
+//
+//   valcon_search [--search-seed N] [--budget N] [--population N]
+//                 [--jobs N] [--sizes n/t,n/t,...] [--strategies a,b,...]
+//                 [--vcs auth,nonauth,fast] [--validities a,b,...]
+//                 [--patterns a,b,...] [--net-profiles a,b,...]
+//                 [--gsts x,y,...] [--deltas x,y,...] [--domains d,...]
+//                 [--seed-tries N] [--no-shrink] [--out FILE]
+//                 [--emit-dir DIR] [--quiet]
+//
+// The default space is the SOUND regime (n > 3t), where any violation is
+// a bug — that is what the CI smoke run asserts (exit 0, empty
+// counterexample list). Counterexamples for the regression corpus come
+// from explicitly unsound sizes, e.g. --sizes 4/2.
+//
+// The report (stdout or --out) is a deterministic function of the options:
+// no wall-clock, no host state, and SweepRunner evaluation is input-ordered
+// — so the bytes are identical whatever --jobs is. --emit-dir writes each
+// shrunk counterexample as a replayable "valcon-counterexample-v1" JSON
+// cell (the format tests/corpus/ commits and test_corpus_replay replays).
+//
+// Exit codes: 0 = clean search (no violations), 1 = violations found,
+// 2 = usage / bad axis value.
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "valcon/harness/search.hpp"
+#include "valcon/harness/sweep_io.hpp"
+
+using namespace valcon;
+using namespace valcon::harness;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " [--search-seed N] [--budget N] [--population N] [--jobs N]"
+         " [--sizes n/t,...] [--strategies a,b,...]"
+         " [--vcs auth,nonauth,fast] [--validities a,b,...]"
+         " [--patterns a,b,...] [--net-profiles a,b,...] [--gsts x,...]"
+         " [--deltas x,...] [--domains d,...] [--seed-tries N]"
+         " [--no-shrink] [--out FILE] [--emit-dir DIR] [--quiet]\n";
+  return 2;
+}
+
+std::optional<double> parse_double(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  char* end = nullptr;
+  const double v = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size()) return std::nullopt;
+  return v;
+}
+
+std::optional<std::pair<int, int>> parse_size(const std::string& s) {
+  const auto slash = s.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 >= s.size()) {
+    return std::nullopt;
+  }
+  const auto n = io::parse_int(s.substr(0, slash), 1);
+  const auto t = io::parse_int(s.substr(slash + 1), 0);
+  if (!n.has_value() || !t.has_value() || *t >= *n) return std::nullopt;
+  return std::make_pair(*n, *t);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SearchOptions options;
+  std::string out_path;
+  std::string emit_dir;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> const char* { return argv[++i]; };
+    if (arg == "--search-seed" && i + 1 < argc) {
+      const auto parsed = io::parse_int(value(), 0);
+      if (!parsed.has_value()) return usage(argv[0]);
+      options.search_seed = static_cast<std::uint64_t>(*parsed);
+    } else if (arg == "--budget" && i + 1 < argc) {
+      const auto parsed = io::parse_int(value(), 1);
+      if (!parsed.has_value()) return usage(argv[0]);
+      options.budget = *parsed;
+    } else if (arg == "--population" && i + 1 < argc) {
+      const auto parsed = io::parse_int(value(), 1);
+      if (!parsed.has_value()) return usage(argv[0]);
+      options.population = *parsed;
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      const auto parsed = io::parse_int(value(), 1);
+      if (!parsed.has_value()) return usage(argv[0]);
+      options.jobs = *parsed;
+    } else if (arg == "--seed-tries" && i + 1 < argc) {
+      const auto parsed = io::parse_int(value(), 0);
+      if (!parsed.has_value()) return usage(argv[0]);
+      options.seed_tries = *parsed;
+    } else if (arg == "--sizes" && i + 1 < argc) {
+      options.space.sizes.clear();
+      for (const std::string& item : io::split_csv(value())) {
+        const auto size = parse_size(item);
+        if (!size.has_value()) {
+          std::cerr << "error: --sizes wants n/t with 0 <= t < n, got '"
+                    << item << "'\n";
+          return 2;
+        }
+        options.space.sizes.push_back(*size);
+      }
+    } else if (arg == "--strategies" && i + 1 < argc) {
+      options.space.strategies = io::split_csv(value());
+    } else if (arg == "--vcs" && i + 1 < argc) {
+      options.space.vcs.clear();
+      for (const std::string& item : io::split_csv(value())) {
+        const auto vc = vc_from_token(item);
+        if (!vc.has_value()) {
+          std::cerr << "error: --vcs wants auth|nonauth|fast, got '" << item
+                    << "'\n";
+          return 2;
+        }
+        options.space.vcs.push_back(*vc);
+      }
+    } else if (arg == "--validities" && i + 1 < argc) {
+      options.space.validities.clear();
+      for (const std::string& item : io::split_csv(value())) {
+        const auto kind = validity_from_token(item);
+        if (!kind.has_value()) {
+          std::cerr << "error: --validities wants strong|weak|"
+                       "correct-proposal|median|convex-hull, got '"
+                    << item << "'\n";
+          return 2;
+        }
+        options.space.validities.push_back(*kind);
+      }
+    } else if (arg == "--patterns" && i + 1 < argc) {
+      options.space.patterns = io::split_csv(value());
+    } else if (arg == "--net-profiles" && i + 1 < argc) {
+      options.space.net_profiles = io::split_csv(value());
+    } else if (arg == "--gsts" && i + 1 < argc) {
+      options.space.gsts.clear();
+      for (const std::string& item : io::split_csv(value())) {
+        const auto v = parse_double(item);
+        if (!v.has_value() || *v < 0) {
+          std::cerr << "error: --gsts wants numbers >= 0, got '" << item
+                    << "'\n";
+          return 2;
+        }
+        options.space.gsts.push_back(*v);
+      }
+    } else if (arg == "--deltas" && i + 1 < argc) {
+      options.space.deltas.clear();
+      for (const std::string& item : io::split_csv(value())) {
+        const auto v = parse_double(item);
+        if (!v.has_value() || *v <= 0) {
+          std::cerr << "error: --deltas wants numbers > 0, got '" << item
+                    << "'\n";
+          return 2;
+        }
+        options.space.deltas.push_back(*v);
+      }
+    } else if (arg == "--domains" && i + 1 < argc) {
+      options.space.domains.clear();
+      for (const std::string& item : io::split_csv(value())) {
+        const auto v = io::parse_int(item, 2);
+        if (!v.has_value()) {
+          std::cerr << "error: --domains wants integers >= 2, got '" << item
+                    << "'\n";
+          return 2;
+        }
+        options.space.domains.push_back(*v);
+      }
+    } else if (arg == "--no-shrink") {
+      options.shrink = false;
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = value();
+    } else if (arg == "--emit-dir" && i + 1 < argc) {
+      emit_dir = value();
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  SearchReport report;
+  try {
+    report = run_search(options);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+
+  const std::string json = report_json(report);
+  if (out_path.empty()) {
+    std::cout << json;
+  } else {
+    std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+    out << json;
+    if (!out) {
+      std::cerr << "error: cannot write " << out_path << "\n";
+      return 2;
+    }
+  }
+
+  if (!emit_dir.empty() && !report.counterexamples.empty()) {
+    try {
+      std::filesystem::create_directories(emit_dir);
+      for (const Counterexample& cx : report.counterexamples) {
+        io::atomic_write(emit_dir + "/" + cell_filename(cx), cell_json(cx));
+      }
+    } catch (const std::exception& e) {
+      std::cerr << "error: emitting cells: " << e.what() << "\n";
+      return 2;
+    }
+  }
+
+  if (!quiet) {
+    std::cerr << "evaluated " << report.evaluated << "/" << report.budget
+              << " candidates, " << report.counterexamples.size()
+              << " counterexample(s), " << report.errors << " error(s)\n";
+    for (const Counterexample& cx : report.counterexamples) {
+      std::cerr << "  " << verdict_token(cx.verdict) << ": "
+                << cx.candidate.key() << "\n";
+    }
+  }
+  return report.counterexamples.empty() ? 0 : 1;
+}
