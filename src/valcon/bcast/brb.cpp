@@ -1,5 +1,7 @@
 #include "valcon/bcast/brb.hpp"
 
+#include "valcon/core/thresholds.hpp"
+
 namespace valcon::bcast {
 
 namespace {
@@ -46,7 +48,7 @@ void ReliableBroadcast::on_message(sim::Context& ctx, ProcessId from,
 void ReliableBroadcast::maybe_progress(sim::Context& ctx) {
   const int n = ctx.n();
   const int t = ctx.t();
-  const int echo_threshold = (n + t + 2) / 2;  // ceil((n+t+1)/2)
+  const int echo_threshold = core::brb_echo_quorum(n, t);
 
   if (!readied_) {
     for (const auto& [digest, senders] : echoes_) {
@@ -55,7 +57,7 @@ void ReliableBroadcast::maybe_progress(sim::Context& ctx) {
       const auto ready_it = readies_.find(digest);
       const bool enough_readies =
           ready_it != readies_.end() &&
-          static_cast<int>(ready_it->second.size()) >= t + 1;
+          static_cast<int>(ready_it->second.size()) >= core::plurality(t);
       if (enough_echoes || enough_readies) {
         readied_ = true;
         ctx.broadcast(sim::make_payload<Msg>(
@@ -66,7 +68,7 @@ void ReliableBroadcast::maybe_progress(sim::Context& ctx) {
     // Amplification from READYs alone (t+1 rule) when no ECHO was seen.
     if (!readied_) {
       for (const auto& [digest, senders] : readies_) {
-        if (static_cast<int>(senders.size()) >= t + 1) {
+        if (static_cast<int>(senders.size()) >= core::plurality(t)) {
           readied_ = true;
           ctx.broadcast(sim::make_payload<Msg>(
               Msg::Kind::kReady, contents_.at(digest), content_words_));
@@ -78,7 +80,7 @@ void ReliableBroadcast::maybe_progress(sim::Context& ctx) {
 
   if (!delivered_) {
     for (const auto& [digest, senders] : readies_) {
-      if (static_cast<int>(senders.size()) >= 2 * t + 1) {
+      if (static_cast<int>(senders.size()) >= core::byz_quorum(n, t)) {
         delivered_ = true;
         if (on_deliver_) on_deliver_(ctx, contents_.at(digest));
         break;

@@ -1,5 +1,7 @@
 #include "valcon/consensus/add.hpp"
 
+#include "valcon/core/thresholds.hpp"
+
 namespace valcon::consensus {
 
 namespace {
@@ -36,7 +38,7 @@ void Add::input(sim::Context& ctx, std::optional<Bytes> data) {
   }
   // A non-⊥ input is known-correct by the problem's precondition: output it
   // immediately, but keep dispersing so that ⊥-input processes terminate.
-  const ReedSolomon rs(ctx.n(), ctx.t() + 1);
+  const ReedSolomon rs(ctx.n(), core::plurality(ctx.t()));
   const auto shares = rs.encode(*data);
   for (ProcessId j = 0; j < ctx.n(); ++j) {
     ctx.send(j, sim::make_payload<MDisperse>(shares[static_cast<std::size_t>(j)]));
@@ -70,7 +72,7 @@ void Add::on_message(sim::Context& ctx, ProcessId from,
 void Add::maybe_fix_share(sim::Context& ctx) {
   if (share_fixed_) return;
   for (const auto& [share, senders] : disperse_votes_) {
-    if (static_cast<int>(senders.size()) >= ctx.t() + 1) {
+    if (static_cast<int>(senders.size()) >= core::plurality(ctx.t())) {
       share_fixed_ = true;
       ctx.broadcast(sim::make_payload<MReconstruct>(share));
       return;
@@ -80,7 +82,7 @@ void Add::maybe_fix_share(sim::Context& ctx) {
 
 void Add::try_decode(sim::Context& ctx) {
   if (output_.has_value()) return;
-  const int k = ctx.t() + 1;
+  const int k = core::plurality(ctx.t());
   int count = 0;
   for (const auto& share : received_shares_) {
     if (share.has_value()) ++count;

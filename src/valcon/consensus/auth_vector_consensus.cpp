@@ -1,5 +1,7 @@
 #include "valcon/consensus/auth_vector_consensus.hpp"
 
+#include "valcon/core/thresholds.hpp"
+
 namespace valcon::consensus {
 
 crypto::Hash proposal_digest(ProcessId proposer, Value v) {
@@ -10,7 +12,9 @@ crypto::Hash proposal_digest(ProcessId proposer, Value v) {
 
 bool VectorQuadProposal::verify(const crypto::KeyRegistry& keys, int n,
                                 int t) const {
-  if (vector_.n() != n || vector_.count() != n - t) return false;
+  if (vector_.n() != n || vector_.count() != core::quorum_n_minus_t(n, t)) {
+    return false;
+  }
   for (const ProcessId p : vector_.processes()) {
     const Value v = *vector_.at(p);
     const crypto::Hash expected = proposal_digest(p, v);
@@ -73,14 +77,16 @@ void AuthVectorConsensus::own_message(sim::Context& ctx, ProcessId from,
     return;
   }
   proposals_.emplace(from, std::make_pair(msg->value, msg->sig));
-  if (static_cast<int>(proposals_.size()) < n - t) return;
+  if (static_cast<int>(proposals_.size()) < core::quorum_n_minus_t(n, t)) {
+    return;
+  }
 
   proposed_to_quad_ = true;
   core::InputConfig vector(n);
   std::vector<crypto::Signature> proofs;
   int taken = 0;
   for (const auto& [pid, entry] : proposals_) {
-    if (taken == n - t) break;
+    if (taken == core::quorum_n_minus_t(n, t)) break;
     vector.set(pid, entry.first);
     proofs.push_back(entry.second);
     ++taken;

@@ -1,5 +1,7 @@
 #include "valcon/consensus/binary_consensus.hpp"
 
+#include "valcon/core/thresholds.hpp"
+
 namespace valcon::consensus {
 
 // ---------------------------------------------------------------- wire
@@ -42,7 +44,8 @@ struct BinaryConsensus::MDecided final : sim::Payload {
 // ------------------------------------------------------------ helpers
 
 bool BinaryConsensus::justified(bool v, sim::Context& ctx) const {
-  return static_cast<int>(est_senders_[v ? 1 : 0].size()) >= ctx.t() + 1;
+  return static_cast<int>(est_senders_[v ? 1 : 0].size()) >=
+         core::plurality(ctx.t());
 }
 
 int BinaryConsensus::count_prevotes(std::int64_t round,
@@ -209,13 +212,14 @@ void BinaryConsensus::poll(sim::Context& ctx) {
   if (!started_ || round_ < 0 || halted_) return;
   const int n = ctx.n();
   const int t = ctx.t();
-  const int quorum = 2 * t + 1;
+  const int quorum = core::byz_quorum(n, t);
 
   // Decide: 2t+1 precommits for a bit in any round, or t+1 DECIDEDs
   // (at least one correct process decided that bit).
   if (!decided_.has_value()) {
     for (const bool b : {false, true}) {
-      if (static_cast<int>(decided_senders_[b ? 1 : 0].size()) >= t + 1) {
+      if (static_cast<int>(decided_senders_[b ? 1 : 0].size()) >=
+          core::plurality(t)) {
         decide(ctx, b);
         break;
       }
@@ -238,7 +242,8 @@ void BinaryConsensus::poll(sim::Context& ctx) {
   // has decided, nobody needs our votes anymore.
   if (decided_.has_value()) {
     const std::size_t idx = *decided_ ? 1 : 0;
-    if (static_cast<int>(decided_senders_[idx].size()) >= n - t) {
+    if (static_cast<int>(decided_senders_[idx].size()) >=
+        core::quorum_n_minus_t(n, t)) {
       halted_ = true;
       return;
     }
@@ -246,7 +251,8 @@ void BinaryConsensus::poll(sim::Context& ctx) {
 
   // Round skip: t+1 distinct participants in a future round.
   for (auto it = rounds_.upper_bound(round_); it != rounds_.end(); ++it) {
-    if (static_cast<int>(it->second.participants.size()) >= t + 1) {
+    if (static_cast<int>(it->second.participants.size()) >=
+        core::plurality(t)) {
       start_round(ctx, it->first);
       return;
     }
@@ -312,7 +318,8 @@ void BinaryConsensus::poll(sim::Context& ctx) {
     for (const auto& [v, senders] : rs.precommits) {
       total += static_cast<int>(senders.size());
     }
-    if (total >= n - t && count_precommits(round_, std::nullopt) >= t + 1) {
+    if (total >= core::quorum_n_minus_t(n, t) &&
+        count_precommits(round_, std::nullopt) >= core::plurality(t)) {
       start_round(ctx, round_ + 1);
       return;
     }

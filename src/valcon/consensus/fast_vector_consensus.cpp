@@ -1,6 +1,7 @@
 #include "valcon/consensus/fast_vector_consensus.hpp"
 
 #include "valcon/consensus/auth_vector_consensus.hpp"
+#include "valcon/core/thresholds.hpp"
 
 namespace valcon::consensus {
 
@@ -56,14 +57,16 @@ void FastVectorConsensus::own_message(sim::Context& ctx, ProcessId from,
     return;
   }
   proposals_.emplace(from, std::make_pair(msg->value, msg->sig));
-  if (static_cast<int>(proposals_.size()) < n - t) return;
+  if (static_cast<int>(proposals_.size()) < core::quorum_n_minus_t(n, t)) {
+    return;
+  }
 
   disseminated_ = true;
   core::InputConfig vector(n);
   std::vector<crypto::Signature> proofs;
   int taken = 0;
   for (const auto& [pid, entry] : proposals_) {
-    if (taken == n - t) break;
+    if (taken == core::quorum_n_minus_t(n, t)) break;
     vector.set(pid, entry.first);
     proofs.push_back(entry.second);
     ++taken;

@@ -1,5 +1,7 @@
 #include "valcon/consensus/nonauth_vector_consensus.hpp"
 
+#include "valcon/core/thresholds.hpp"
+
 namespace valcon::consensus {
 
 namespace {
@@ -77,7 +79,7 @@ void NonAuthVectorConsensus::on_binary_decide(sim::Context& ctx,
   ++decided_count_;
   if (value) ++ones_;
 
-  if (proposing_ones_ && ones_ >= n_ - ctx.t()) {
+  if (proposing_ones_ && ones_ >= core::quorum_n_minus_t(n_, ctx.t())) {
     // n-t instances decided 1 (line 16): propose 0 everywhere else.
     proposing_ones_ = false;
     for (ProcessId j = 0; j < n_; ++j) {
@@ -96,14 +98,15 @@ void NonAuthVectorConsensus::maybe_decide(sim::Context& ctx) {
   // The first n-t processes whose instances decided 1, by index (line 21).
   core::InputConfig vector(n_);
   int taken = 0;
-  for (ProcessId j = 0; j < n_ && taken < n_ - ctx.t(); ++j) {
+  for (ProcessId j = 0; j < n_ && taken < core::quorum_n_minus_t(n_, ctx.t());
+       ++j) {
     const auto idx = static_cast<std::size_t>(j);
     if (decisions_[idx] != std::optional<bool>(true)) continue;
     if (!proposals_[idx].has_value()) return;  // wait for the BRB delivery
     vector.set(j, *proposals_[idx]);
     ++taken;
   }
-  if (taken < n_ - ctx.t()) return;
+  if (taken < core::quorum_n_minus_t(n_, ctx.t())) return;
   deliver_vector(ctx, vector);
 }
 

@@ -1,5 +1,7 @@
 #include "valcon/consensus/quad.hpp"
 
+#include "valcon/core/thresholds.hpp"
+
 namespace valcon::consensus {
 
 // ---------------------------------------------------------------- wire
@@ -219,7 +221,10 @@ void Quad::maybe_propose(sim::Context& ctx) {
   if (leader_of(cur_view_, n) != ctx.id()) return;
   ViewState& vs = view_state(cur_view_);
   if (vs.proposed || !vs.propose_timer_fired) return;
-  if (static_cast<int>(vs.view_change_senders.size()) < n - t) return;
+  if (static_cast<int>(vs.view_change_senders.size()) <
+      core::quorum_n_minus_t(n, t)) {
+    return;
+  }
 
   // Highest valid prepare-QC among the received view-changes, else own input.
   std::optional<QuorumCert> best;
@@ -248,7 +253,9 @@ void Quad::maybe_form_prepare_qc(sim::Context& ctx) {
   ViewState& vs = view_state(cur_view_);
   if (vs.sent_precommit || !vs.proposed) return;
   for (const auto& [digest, votes] : vs.prepare_votes) {
-    if (static_cast<int>(votes.second.size()) < n - t) continue;
+    if (static_cast<int>(votes.second.size()) < core::quorum_n_minus_t(n, t)) {
+      continue;
+    }
     const auto tsig = ctx.keys().combine(votes.first);
     if (!tsig.has_value()) continue;
     // Locate the proposed value matching the digest.
@@ -275,7 +282,9 @@ void Quad::maybe_form_commit_qc(sim::Context& ctx) {
   ViewState& vs = view_state(cur_view_);
   if (vs.sent_decide) return;
   for (const auto& [digest, votes] : vs.commit_votes) {
-    if (static_cast<int>(votes.second.size()) < n - t) continue;
+    if (static_cast<int>(votes.second.size()) < core::quorum_n_minus_t(n, t)) {
+      continue;
+    }
     const auto tsig = ctx.keys().combine(votes.first);
     if (!tsig.has_value()) continue;
     QuadProposalPtr value;
@@ -428,7 +437,7 @@ void Quad::on_message(sim::Context& ctx, ProcessId from,
     auto& [sigs, senders] = epoch_over_[over->epoch];
     if (!senders.insert(from).second) return;
     sigs.push_back(over->partial);
-    if (static_cast<int>(senders.size()) >= n - t &&
+    if (static_cast<int>(senders.size()) >= core::quorum_n_minus_t(n, t) &&
         over->epoch > highest_epoch_cert_) {
       const auto tsig = ctx.keys().combine(sigs);
       if (tsig.has_value()) {

@@ -1,6 +1,7 @@
 #include "valcon/consensus/vector_dissemination.hpp"
 
 #include "valcon/consensus/auth_vector_consensus.hpp"
+#include "valcon/core/thresholds.hpp"
 
 namespace valcon::consensus {
 
@@ -111,7 +112,7 @@ void VectorDissemination::on_slow_deliver(
   // Verify the embedded proposal signatures before caching and signing
   // (Vector Validity hinges on this check; cf. Theorem 11's proof).
   if (vec.n() != slow_ctx.n() ||
-      vec.count() != slow_ctx.n() - slow_ctx.t()) {
+      vec.count() != core::quorum_n_minus_t(slow_ctx.n(), slow_ctx.t())) {
     return;
   }
   for (const ProcessId p : vec.processes()) {
@@ -149,7 +150,8 @@ void VectorDissemination::own_message(sim::Context& ctx, ProcessId from,
     }
     if (!stored_from_.insert(from).second) return;
     stored_partials_.push_back(stored->partial);
-    if (static_cast<int>(stored_from_.size()) >= n - t) {
+    if (static_cast<int>(stored_from_.size()) >=
+        core::quorum_n_minus_t(n, t)) {
       const auto tsig = ctx.keys().combine(stored_partials_);
       if (tsig.has_value()) {
         confirmed_ = true;

@@ -1,0 +1,95 @@
+#pragma once
+// Named quorum thresholds for the protocol layer.
+//
+// Every vote-counting comparison in consensus/ and bcast/ goes through
+// these helpers instead of raw `n - t` / `2*t + 1` arithmetic: a silent
+// off-by-one in a threshold changes which validity properties the stack
+// satisfies (the paper's whole classification hinges on these margins),
+// so the spellings are centralized here, value-pinned by static_asserts
+// and tests/test_thresholds.cpp, and the protomap analyzer plus the
+// `quorum-arith` lint rule ban raw t-arithmetic in protocol code (see
+// docs/static-analysis.md, layer 4).
+//
+// The helpers validate that (n, t) is a meaningful system description
+// and throw std::invalid_argument otherwise, but they deliberately do
+// NOT enforce the paper's n > 3t resilience precondition: the sweep
+// harness and the adversary-search corpus intentionally run unsound
+// regimes (n = 3t and below) to exhibit the violations the paper
+// predicts there. Use byz_resilient() when a caller needs the regime
+// predicate itself.
+
+#include <stdexcept>
+
+namespace valcon::core {
+
+namespace detail {
+
+constexpr void check_system(int n, int t) {
+  if (n < 1 || t < 0 || t > n) {
+    throw std::invalid_argument(
+        "thresholds: need n >= 1 and 0 <= t <= n");
+  }
+}
+
+}  // namespace detail
+
+/// True iff (n, t) is in the paper's Byzantine-resilient regime n > 3t.
+[[nodiscard]] constexpr bool byz_resilient(int n, int t) {
+  detail::check_system(n, t);
+  return n > 3 * t;
+}
+
+/// n - t: the size of the largest vote set a correct process can be
+/// sure to assemble (every correct process eventually hears from all
+/// other correct processes). Quad certificates, vector dissemination
+/// and the vector-consensus "wait for n - t proposals" steps use this.
+[[nodiscard]] constexpr int quorum_n_minus_t(int n, int t) {
+  detail::check_system(n, t);
+  return n - t;
+}
+
+/// t + 1: one more than the adversary can produce alone, so any t+1
+/// matching votes include at least one correct process. Amplification
+/// steps (BRB ready, binary-consensus decide relay, ADD reconstruction)
+/// use this.
+[[nodiscard]] constexpr int plurality(int t) {
+  if (t < 0) throw std::invalid_argument("thresholds: need t >= 0");
+  return t + 1;
+}
+
+/// 2t + 1: two such quorums intersect in at least one correct process
+/// when n <= 3t + 1 holds with equality budget — the classic Byzantine
+/// quorum for n > 3t. BRB ready-delivery and the binary-consensus
+/// round quorum use this.
+[[nodiscard]] constexpr int byz_quorum(int n, int t) {
+  detail::check_system(n, t);
+  return 2 * t + 1;
+}
+
+/// ceil((n + t + 1) / 2): Bracha's echo threshold. Two echo quorums
+/// overlap in more than t processes, so at most one payload per
+/// (sender, tag) can gather it.
+[[nodiscard]] constexpr int brb_echo_quorum(int n, int t) {
+  detail::check_system(n, t);
+  return (n + t + 2) / 2;
+}
+
+// Value pins at the paper's boundary regimes. n = 3t + 1 is the
+// smallest resilient system; n = 3t sits just outside; t = 0 is the
+// crash-free degenerate case.
+static_assert(byz_resilient(4, 1) && byz_resilient(7, 2));
+static_assert(!byz_resilient(3, 1) && !byz_resilient(6, 2));
+static_assert(byz_resilient(1, 0));
+static_assert(quorum_n_minus_t(4, 1) == 3 && quorum_n_minus_t(7, 2) == 5);
+static_assert(quorum_n_minus_t(3, 1) == 2 && quorum_n_minus_t(1, 0) == 1);
+static_assert(plurality(0) == 1 && plurality(1) == 2 && plurality(2) == 3);
+static_assert(byz_quorum(4, 1) == 3 && byz_quorum(7, 2) == 5);
+static_assert(byz_quorum(1, 0) == 1);
+static_assert(brb_echo_quorum(4, 1) == 3 && brb_echo_quorum(7, 2) == 5);
+static_assert(brb_echo_quorum(3, 1) == 3 && brb_echo_quorum(1, 0) == 1);
+// In the resilient regime the echo quorum is itself a Byzantine quorum
+// and every quorum clears the plurality bar.
+static_assert(brb_echo_quorum(4, 1) >= byz_quorum(4, 1));
+static_assert(quorum_n_minus_t(4, 1) >= plurality(1));
+
+}  // namespace valcon::core

@@ -214,6 +214,7 @@ class TwoFacedProcess final : public Process {
 /// Unrecognizable protocol message: no component dynamic_casts to it, so
 /// receivers must (and do) ignore it. Used by MutatingShim to model
 /// arbitrary payload corruption while keeping word accounting honest.
+// valcon-protomap: allow(black-hole) -- adversarial garbage is meant to be dropped
 struct GarbagePayload final : Payload {
   explicit GarbagePayload(std::size_t words) : words_(words == 0 ? 1 : words) {}
   VALCON_PAYLOAD_TYPE("adversary/garbage")

@@ -1,0 +1,16 @@
+// Malformed protomap suppressions: an unknown rule name and a marker
+// with no ` -- reason`. Both must be flagged; nothing else is wrong
+// with this file.
+// protomap-expect: bad-suppression
+#include "valcon/sim/mini_sim.hpp"
+
+namespace valcon::fixture {
+
+// valcon-protomap: allow(black-holes) -- rule name has a typo
+class Quiet {
+ public:
+  // valcon-protomap: allow(raw-quorum)
+  [[nodiscard]] int answer() const { return 42; }
+};
+
+}  // namespace valcon::fixture

@@ -1,0 +1,25 @@
+// A payload that is broadcast but that no dispatch site handles: every
+// delivery is silently dropped. The analyzer must flag MDropped.
+// protomap-expect: black-hole
+#include "valcon/sim/mini_sim.hpp"
+
+namespace valcon::fixture {
+
+class Beacon {
+ public:
+  struct MDropped final : sim::Payload {
+    explicit MDropped(int v) : value(v) {}
+    VALCON_PAYLOAD_TYPE("beacon/dropped")
+    int value;
+  };
+
+  void announce(sim::Context& ctx) {
+    ctx.broadcast(sim::make_payload<MDropped>(1));
+  }
+
+  void on_message(sim::Context&, const sim::PayloadPtr&) {
+    // No dynamic_cast to MDropped anywhere: the message goes nowhere.
+  }
+};
+
+}  // namespace valcon::fixture

@@ -1,0 +1,25 @@
+// Raw quorum arithmetic in protocol code (this file sits under a
+// consensus/ directory): vote thresholds spelled as `n - t`, `t + 1`
+// or `2*t + 1` instead of the named core/thresholds.hpp helpers. Every
+// arithmetic expression touching the fault bound t must be flagged.
+// protomap-expect: raw-quorum
+#include "valcon/sim/mini_sim.hpp"
+
+namespace valcon::fixture {
+
+class Tally {
+ public:
+  [[nodiscard]] bool quorum(const sim::Context& ctx, int votes) const {
+    return votes >= ctx.n() - ctx.t();
+  }
+
+  [[nodiscard]] bool plurality_reached(int votes, int t) const {
+    return votes >= t + 1;
+  }
+
+  [[nodiscard]] bool byz_quorum_reached(int votes, int t) const {
+    return votes >= 2 * t + 1;
+  }
+};
+
+}  // namespace valcon::fixture

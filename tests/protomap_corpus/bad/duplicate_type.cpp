@@ -1,0 +1,53 @@
+// Two payload classes claiming the same wire type string: metrics and
+// debugging would conflate them. Both are otherwise conforming (sent
+// and handled), so only duplicate-type must fire.
+// protomap-expect: duplicate-type
+#include "valcon/sim/mini_sim.hpp"
+
+namespace valcon::fixture {
+
+class Echoer {
+ public:
+  struct MEcho final : sim::Payload {
+    explicit MEcho(int v) : value(v) {}
+    VALCON_PAYLOAD_TYPE("dup/echo")
+    int value;
+  };
+
+  void run(sim::Context& ctx) {
+    ctx.broadcast(sim::make_payload<MEcho>(1));
+  }
+
+  void on_message(sim::Context&, const sim::PayloadPtr& m) {
+    if (dynamic_cast<const MEcho*>(m.get()) != nullptr) {
+      ++count_;
+    }
+  }
+
+ private:
+  int count_ = 0;
+};
+
+class Mirror {
+ public:
+  struct MEcho final : sim::Payload {
+    explicit MEcho(int v) : value(v) {}
+    VALCON_PAYLOAD_TYPE("dup/echo")
+    int value;
+  };
+
+  void run(sim::Context& ctx) {
+    ctx.broadcast(sim::make_payload<MEcho>(2));
+  }
+
+  void on_message(sim::Context&, const sim::PayloadPtr& m) {
+    if (dynamic_cast<const MEcho*>(m.get()) != nullptr) {
+      ++count_;
+    }
+  }
+
+ private:
+  int count_ = 0;
+};
+
+}  // namespace valcon::fixture

@@ -1,0 +1,37 @@
+// A payload class that nobody ever constructs: the wire format drifted
+// away from the implementation (or the sender was deleted without its
+// message). The analyzer must flag MForgotten and accept MUsed.
+// protomap-expect: orphan-payload
+#include "valcon/sim/mini_sim.hpp"
+
+namespace valcon::fixture {
+
+class Widget {
+ public:
+  struct MUsed final : sim::Payload {
+    explicit MUsed(int v) : value(v) {}
+    VALCON_PAYLOAD_TYPE("widget/used")
+    int value;
+  };
+
+  struct MForgotten final : sim::Payload {
+    explicit MForgotten(int v) : value(v) {}
+    VALCON_PAYLOAD_TYPE("widget/forgotten")
+    int value;
+  };
+
+  void propose(sim::Context& ctx) {
+    ctx.broadcast(sim::make_payload<MUsed>(7));
+  }
+
+  void on_message(sim::Context&, const sim::PayloadPtr& m) {
+    if (const auto* used = dynamic_cast<const MUsed*>(m.get())) {
+      last_ = used->value;
+    }
+  }
+
+ private:
+  int last_ = 0;
+};
+
+}  // namespace valcon::fixture

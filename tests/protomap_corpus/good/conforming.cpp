@@ -1,0 +1,42 @@
+// A fully conforming protocol fragment: every payload has a unique
+// wire type, a make_payload construction site and a dynamic_cast
+// dispatch site. The analyzer must report nothing.
+// protomap-good: orphan-payload black-hole duplicate-type
+#include "valcon/sim/mini_sim.hpp"
+
+namespace valcon::fixture {
+
+class PingPong {
+ public:
+  struct MPing final : sim::Payload {
+    explicit MPing(int s) : seq(s) {}
+    VALCON_PAYLOAD_TYPE("pp/ping")
+    int seq;
+  };
+
+  struct MPong final : sim::Payload {
+    explicit MPong(int s) : seq(s) {}
+    VALCON_PAYLOAD_TYPE("pp/pong")
+    int seq;
+  };
+
+  void start(sim::Context& ctx) {
+    ctx.broadcast(sim::make_payload<MPing>(0));
+  }
+
+  void on_message(sim::Context& ctx, sim::ProcessId from,
+                  const sim::PayloadPtr& m) {
+    if (const auto* ping = dynamic_cast<const MPing*>(m.get())) {
+      ctx.send(from, sim::make_payload<MPong>(ping->seq + 1));
+      return;
+    }
+    if (const auto* pong = dynamic_cast<const MPong*>(m.get())) {
+      last_seq_ = pong->seq;
+    }
+  }
+
+ private:
+  int last_seq_ = 0;
+};
+
+}  // namespace valcon::fixture

@@ -1,0 +1,26 @@
+// Protocol code under a consensus/ directory that spells every vote
+// threshold through the named core/thresholds.hpp helpers: the
+// raw-quorum rule must stay silent (the arithmetic lives in core/,
+// outside the scanned directories).
+// protomap-good: raw-quorum
+#include "valcon/core/thresholds.hpp"
+#include "valcon/sim/mini_sim.hpp"
+
+namespace valcon::fixture {
+
+class Tally {
+ public:
+  [[nodiscard]] bool quorum(const sim::Context& ctx, int votes) const {
+    return votes >= core::quorum_n_minus_t(ctx.n(), ctx.t());
+  }
+
+  [[nodiscard]] bool plurality_reached(int votes, int t) const {
+    return votes >= core::plurality(t);
+  }
+
+  [[nodiscard]] bool byz_quorum_reached(int n, int votes, int t) const {
+    return votes >= core::byz_quorum(n, t);
+  }
+};
+
+}  // namespace valcon::fixture

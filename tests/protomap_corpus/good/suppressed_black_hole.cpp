@@ -1,0 +1,24 @@
+// A deliberately unhandled payload (modeled on the real tree's
+// GarbagePayload) carrying a well-formed suppression: the black-hole
+// rule must honor the allow() and the bad-suppression rule must accept
+// its syntax. Zero findings expected.
+// protomap-good: black-hole bad-suppression
+#include "valcon/sim/mini_sim.hpp"
+
+namespace valcon::fixture {
+
+// valcon-protomap: allow(black-hole) -- fixture: noise nobody should parse
+struct MNoise final : sim::Payload {
+  explicit MNoise(int w) : words(w) {}
+  VALCON_PAYLOAD_TYPE("fixture/noise")
+  int words;
+};
+
+class Jammer {
+ public:
+  void jam(sim::Context& ctx) {
+    ctx.broadcast(sim::make_payload<MNoise>(3));
+  }
+};
+
+}  // namespace valcon::fixture

@@ -1,0 +1,12 @@
+#pragma once
+// Fixture copy of the named-threshold helpers. Lives under core/ so
+// the raw-quorum rule (scoped to consensus/ and bcast/ directories)
+// does not scan it, exactly like the real src/valcon/core/thresholds.hpp.
+
+namespace valcon::core {
+
+[[nodiscard]] constexpr int quorum_n_minus_t(int n, int t) { return n - t; }
+[[nodiscard]] constexpr int plurality(int t) { return t + 1; }
+[[nodiscard]] constexpr int byz_quorum(int, int t) { return 2 * t + 1; }
+
+}  // namespace valcon::core

@@ -1,0 +1,56 @@
+#pragma once
+// Minimal stand-in for the real valcon/sim payload machinery, just
+// enough for the protomap fixture corpus to parse standalone: the
+// analyzer keys on the qualified name valcon::sim::Payload, the
+// VALCON_PAYLOAD_TYPE macro, make_payload call sites and dynamic_cast
+// dispatch sites, all of which this header reproduces in shape.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+namespace valcon::sim {
+
+using ProcessId = int;
+using PayloadTypeId = std::uint32_t;
+
+struct PayloadTypeRegistry {
+  static PayloadTypeId intern(const char*) { return 0; }
+};
+
+struct Payload {
+  Payload() = default;
+  Payload(const Payload&) = delete;
+  Payload& operator=(const Payload&) = delete;
+  virtual ~Payload() = default;
+  [[nodiscard]] virtual const char* type_name() const = 0;
+  [[nodiscard]] virtual PayloadTypeId type_id() const = 0;
+  [[nodiscard]] virtual std::size_t size_words() const { return 1; }
+};
+
+using PayloadPtr = std::shared_ptr<const Payload>;
+
+#define VALCON_PAYLOAD_TYPE(name_literal)                              \
+  [[nodiscard]] const char* type_name() const override {               \
+    return name_literal;                                               \
+  }                                                                    \
+  [[nodiscard]] PayloadTypeId type_id() const override {               \
+    return PayloadTypeRegistry::intern(name_literal);                  \
+  }
+
+template <typename T, typename... Args>
+PayloadPtr make_payload(Args&&... args) {
+  return std::make_shared<const T>(std::forward<Args>(args)...);
+}
+
+class Context {
+ public:
+  virtual ~Context() = default;
+  [[nodiscard]] virtual int n() const = 0;
+  [[nodiscard]] virtual int t() const = 0;
+  virtual void send(ProcessId to, PayloadPtr payload) = 0;
+  virtual void broadcast(PayloadPtr payload) = 0;
+};
+
+}  // namespace valcon::sim

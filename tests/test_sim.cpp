@@ -19,7 +19,7 @@ namespace {
 
 struct Ping final : Payload {
   explicit Ping(int seq_in = 0) : seq(seq_in) {}
-  [[nodiscard]] const char* type_name() const override { return "ping"; }
+  VALCON_PAYLOAD_TYPE("ping")
   int seq;
 };
 

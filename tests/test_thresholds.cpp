@@ -1,0 +1,155 @@
+// Pins core::thresholds: the value table at the paper's boundary
+// regimes, the input-validation throws, and — the load-bearing check —
+// that routing every protocol comparison through the helpers left the
+// pinned full-matrix sweep document byte-identical (tests/golden/
+// full.sha256). A threshold off-by-one anywhere in consensus/ or
+// bcast/ changes decision timing or outcomes and shows up here as a
+// digest mismatch.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "valcon/core/thresholds.hpp"
+#include "valcon/crypto/sha256.hpp"
+#include "valcon/harness/sweep.hpp"
+#include "valcon/harness/sweep_io.hpp"
+
+namespace valcon {
+namespace {
+
+using core::brb_echo_quorum;
+using core::byz_quorum;
+using core::byz_resilient;
+using core::plurality;
+using core::quorum_n_minus_t;
+
+// ------------------------------------------------------- value tables
+
+TEST(Thresholds, ValueTableAtSmallestResilientRegime) {
+  // n = 3t + 1: the paper's minimal Byzantine-resilient systems.
+  EXPECT_EQ(quorum_n_minus_t(4, 1), 3);
+  EXPECT_EQ(plurality(1), 2);
+  EXPECT_EQ(byz_quorum(4, 1), 3);
+  EXPECT_EQ(brb_echo_quorum(4, 1), 3);
+  EXPECT_TRUE(byz_resilient(4, 1));
+
+  EXPECT_EQ(quorum_n_minus_t(7, 2), 5);
+  EXPECT_EQ(plurality(2), 3);
+  EXPECT_EQ(byz_quorum(7, 2), 5);
+  EXPECT_EQ(brb_echo_quorum(7, 2), 5);
+  EXPECT_TRUE(byz_resilient(7, 2));
+
+  EXPECT_EQ(quorum_n_minus_t(10, 3), 7);
+  EXPECT_EQ(byz_quorum(10, 3), 7);
+  EXPECT_EQ(brb_echo_quorum(10, 3), 7);
+}
+
+TEST(Thresholds, ValueTableJustOutsideResilience) {
+  // n = 3t: the unsound regime the sweep harness deliberately runs.
+  // The helpers still compute (the corpus replays depend on it); only
+  // the regime predicate reports the deficit.
+  EXPECT_EQ(quorum_n_minus_t(3, 1), 2);
+  EXPECT_EQ(byz_quorum(3, 1), 3);
+  EXPECT_EQ(brb_echo_quorum(3, 1), 3);
+  EXPECT_FALSE(byz_resilient(3, 1));
+
+  EXPECT_EQ(quorum_n_minus_t(6, 2), 4);
+  EXPECT_EQ(byz_quorum(6, 2), 5);
+  EXPECT_EQ(brb_echo_quorum(6, 2), 5);
+  EXPECT_FALSE(byz_resilient(6, 2));
+
+  // The corpus's n = 4, t = 2 cells sit even deeper in the unsound
+  // regime and must also evaluate.
+  EXPECT_EQ(quorum_n_minus_t(4, 2), 2);
+  EXPECT_EQ(byz_quorum(4, 2), 5);
+  EXPECT_FALSE(byz_resilient(4, 2));
+}
+
+TEST(Thresholds, ValueTableCrashFreeDegenerateCase) {
+  // t = 0: every quorum collapses to "one vote" or "everyone".
+  EXPECT_EQ(quorum_n_minus_t(1, 0), 1);
+  EXPECT_EQ(quorum_n_minus_t(5, 0), 5);
+  EXPECT_EQ(plurality(0), 1);
+  EXPECT_EQ(byz_quorum(5, 0), 1);
+  EXPECT_EQ(brb_echo_quorum(5, 0), 3);
+  EXPECT_EQ(brb_echo_quorum(1, 0), 1);
+  EXPECT_TRUE(byz_resilient(1, 0));
+}
+
+TEST(Thresholds, EchoQuorumIsCeilOfHalfNPlusTPlusOne) {
+  for (int n = 1; n <= 12; ++n) {
+    for (int t = 0; t <= n; ++t) {
+      const int expected = (n + t + 1 + 1) / 2;  // ceil((n+t+1)/2)
+      EXPECT_EQ(brb_echo_quorum(n, t), expected) << "n=" << n << " t=" << t;
+    }
+  }
+}
+
+// ------------------------------------------------------- validation
+
+TEST(Thresholds, RejectsNonsenseSystems) {
+  EXPECT_THROW((void)quorum_n_minus_t(0, 0), std::invalid_argument);
+  EXPECT_THROW((void)quorum_n_minus_t(4, -1), std::invalid_argument);
+  EXPECT_THROW((void)quorum_n_minus_t(4, 5), std::invalid_argument);
+  EXPECT_THROW((void)plurality(-1), std::invalid_argument);
+  EXPECT_THROW((void)byz_quorum(-3, 1), std::invalid_argument);
+  EXPECT_THROW((void)byz_quorum(3, 4), std::invalid_argument);
+  EXPECT_THROW((void)brb_echo_quorum(0, 0), std::invalid_argument);
+  EXPECT_THROW((void)byz_resilient(4, 5), std::invalid_argument);
+}
+
+TEST(Thresholds, AcceptsFullByzantineBoundary) {
+  // t = n is a describable (if hopeless) system; only t > n is nonsense.
+  EXPECT_EQ(quorum_n_minus_t(3, 3), 0);
+  EXPECT_EQ(byz_quorum(3, 3), 7);
+  EXPECT_FALSE(byz_resilient(3, 3));
+}
+
+// -------------------------------------------- sweep-level golden pin
+
+// Rebuilds the full-matrix sweep document in-process exactly the way
+// valcon_sweep emits it (header, comma-separated outcome lines in
+// index order, footer) and compares its SHA-256 against the committed
+// golden. This is the acceptance gate for the thresholds refactor:
+// same bytes means every quorum decision fired at the same instant
+// with the same outcome as before the helpers existed.
+TEST(Thresholds, FullMatrixSweepDocumentMatchesCommittedGolden) {
+  const harness::ScenarioMatrix matrix = harness::named_matrix("full");
+  const std::size_t total = matrix.size();
+
+  std::ostringstream doc;
+  harness::io::document_header(doc, "full", std::nullopt, total);
+  harness::io::JsonSummary summary;
+  const harness::SweepRunner runner(4);
+  runner.run_range(matrix, 0, total, [&](harness::SweepOutcome&& o) {
+    const std::string line = harness::io::outcome_line(o);
+    summary.add(harness::io::parse_outcome_line(line));
+    doc << line << (o.point.index + 1 < total ? ",\n" : "\n");
+  });
+  harness::io::document_footer(doc, summary);
+
+  const std::string text = doc.str();
+  const crypto::Sha256::Digest digest =
+      crypto::Sha256::hash(text.data(), text.size());
+  std::string hex;
+  for (const std::uint8_t byte : digest) {
+    static const char* kHex = "0123456789abcdef";
+    hex.push_back(kHex[byte >> 4]);
+    hex.push_back(kHex[byte & 0xf]);
+  }
+
+  std::ifstream golden(std::string(VALCON_GOLDEN_DIR) + "/full.sha256");
+  ASSERT_TRUE(golden.is_open()) << "missing tests/golden/full.sha256";
+  std::string expected;
+  golden >> expected;  // first token: the hex digest
+  ASSERT_EQ(expected.size(), 64U);
+  EXPECT_EQ(hex, expected)
+      << "the full-matrix sweep document changed bytes; if that is"
+         " intentional, refresh tests/golden/full.sha256";
+}
+
+}  // namespace
+}  // namespace valcon

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""check-headers: every public header must be self-contained.
+
+A header that silently relies on whatever its includer happened to pull
+in first compiles today and breaks the moment include order changes —
+usually in the least related PR.  This check compiles each header under
+src/ standalone (`$CXX -fsyntax-only`), so a header that forgets one of
+its own includes fails here instead of in a downstream refactor.
+
+Usage:
+    tools/check_headers.py [--root DIR] [--cxx COMPILER] [--jobs N]
+
+Exit status: 0 all headers self-contained, 1 failures, 2 usage error.
+
+Dependency-free (stdlib only); uses the same compiler and -std the
+build uses.  Runs as the ctest entry `headers_selfcontained`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import os
+import shutil
+import subprocess
+import sys
+
+STD = "c++20"
+HEADER_EXTENSIONS = (".hpp", ".h", ".hxx")
+
+
+def find_headers(src_root: str):
+    headers = []
+    for root, dirs, names in os.walk(src_root):
+        dirs.sort()
+        for name in sorted(names):
+            if name.endswith(HEADER_EXTENSIONS):
+                headers.append(os.path.join(root, name))
+    return headers
+
+
+def check_one(cxx: str, src_root: str, header: str):
+    cmd = [cxx, "-fsyntax-only", f"-std={STD}", "-I", src_root,
+           "-x", "c++", header]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    return header, proc.returncode, proc.stderr
+
+
+def main(argv) -> int:
+    parser = argparse.ArgumentParser(prog="check_headers.py")
+    parser.add_argument("--root", default=".", metavar="DIR",
+                        help="repository root (default: .)")
+    parser.add_argument("--cxx", default=os.environ.get("CXX", "c++"),
+                        help="compiler to use (default: $CXX or c++)")
+    parser.add_argument("--jobs", type=int, default=os.cpu_count() or 2)
+    args = parser.parse_args(argv)
+
+    src_root = os.path.join(args.root, "src")
+    if not os.path.isdir(src_root):
+        print(f"check-headers: no src/ under {args.root}", file=sys.stderr)
+        return 2
+    if shutil.which(args.cxx) is None:
+        print(f"check-headers: compiler not found: {args.cxx}",
+              file=sys.stderr)
+        return 2
+
+    headers = find_headers(src_root)
+    if not headers:
+        print(f"check-headers: no headers under {src_root}", file=sys.stderr)
+        return 2
+
+    failures = []
+    with concurrent.futures.ThreadPoolExecutor(max_workers=args.jobs) as ex:
+        for header, rc, stderr in ex.map(
+                lambda h: check_one(args.cxx, src_root, h), headers):
+            if rc != 0:
+                failures.append((header, stderr))
+
+    for header, stderr in sorted(failures):
+        print(f"NOT SELF-CONTAINED: {header}")
+        sys.stdout.write(stderr)
+    if failures:
+        print(f"check-headers: {len(failures)} of {len(headers)} headers "
+              "failed", file=sys.stderr)
+        return 1
+    print(f"check-headers: all {len(headers)} headers self-contained "
+          f"({args.cxx}, -std={STD})", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -44,6 +44,12 @@ The reason is mandatory.  `allow(*)` waives every rule on that line.
 
 Usage:
     tools/valcon_lint.py [paths...]          lint (default: src)
+    tools/valcon_lint.py --default-paths     lint the whole repo tree
+                                             (src tools bench examples tests,
+                                             minus the fixture corpora); this
+                                             is the single source of truth the
+                                             ctest entry and CI both use
+    tools/valcon_lint.py --root DIR          resolve paths relative to DIR
     tools/valcon_lint.py --self-test [dir]   run the fixture corpus
                                              (default: tests/lint_corpus)
     tools/valcon_lint.py --list-rules
@@ -65,6 +71,13 @@ import sys
 from dataclasses import dataclass
 
 CPP_EXTENSIONS = (".cpp", ".hpp", ".h", ".cc", ".cxx", ".hxx")
+
+# The canonical lint tree for --default-paths: every C++ source the repo
+# builds or ships.  The fixture corpora are pruned during the walk — they
+# contain deliberate findings and are pinned by their own self-tests
+# (valcon_lint.py --self-test, valcon_protomap.py self-test).
+DEFAULT_LINT_DIRS = ("src", "tools", "bench", "examples", "tests")
+EXCLUDED_DIR_NAMES = frozenset({"lint_corpus", "protomap_corpus"})
 
 ALLOW_RE = re.compile(
     r"//\s*valcon-lint:\s*allow\(([^)]*)\)\s*(?:--\s*(\S.*))?$")
@@ -414,7 +427,8 @@ def collect_files(paths):
                 files.append(path)
         elif os.path.isdir(path):
             for root, dirs, names in os.walk(path):
-                dirs.sort()
+                dirs[:] = sorted(d for d in dirs
+                                 if d not in EXCLUDED_DIR_NAMES)
                 for name in sorted(names):
                     if name.endswith(CPP_EXTENSIONS):
                         files.append(os.path.join(root, name))
@@ -490,6 +504,12 @@ def main(argv) -> int:
     parser.add_argument("--self-test", nargs="?", const="tests/lint_corpus",
                         default=None, metavar="CORPUS_DIR")
     parser.add_argument("--list-rules", action="store_true")
+    parser.add_argument("--default-paths", action="store_true",
+                        help="lint the canonical repo tree: "
+                             + " ".join(DEFAULT_LINT_DIRS))
+    parser.add_argument("--root", default=".", metavar="DIR",
+                        help="directory the default paths are resolved "
+                             "against (default: .)")
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -500,7 +520,19 @@ def main(argv) -> int:
     if args.self_test is not None:
         return self_test(args.self_test)
 
-    paths = args.paths or ["src"]
+    if args.default_paths:
+        if args.paths:
+            print("valcon-lint: --default-paths takes no positional paths",
+                  file=sys.stderr)
+            return 2
+        paths = [os.path.join(args.root, d) for d in DEFAULT_LINT_DIRS
+                 if os.path.isdir(os.path.join(args.root, d))]
+        if not paths:
+            print(f"valcon-lint: no lintable directories under {args.root}",
+                  file=sys.stderr)
+            return 2
+    else:
+        paths = args.paths or ["src"]
     findings = []
     files = collect_files(paths)
     for path in files:

@@ -1,0 +1,878 @@
+#!/usr/bin/env python3
+"""valcon_protomap -- semantic protocol-conformance analyzer (layer 4).
+
+Walks the real C++ AST via libclang (driven by compile_commands.json; no
+regex over source) and extracts the protocol map: every payload class
+derived from valcon::sim::Payload, its wire type strings, its fields,
+which classes construct/send it (make_payload sites) and which handle it
+(dynamic_cast dispatch sites). The map is emitted as a deterministic,
+byte-stable protocol_map.json and rendered to docs/protocol-map.md.
+
+On top of the map it enforces conformance rules (see RULES below):
+orphan payloads, black-hole payloads, duplicate type strings, and raw
+quorum arithmetic in protocol code (consensus/ and bcast/ must spell
+thresholds through core/thresholds.hpp helpers, never as `n - t` or
+`2*t + 1`).
+
+Suppression mirrors valcon_lint:
+
+    // valcon-protomap: allow(<rule>) -- <reason>
+
+on the offending line or the line directly above it (for payload-level
+rules: the line of the class declaration or the line above).
+
+Type-string extraction: a class's wire names come from its
+VALCON_PAYLOAD_TYPE(...) macro invocation if present, else from the
+string literals in a hand-written type_id() body (the BRB message class
+interns three names there). A payload class with neither is a
+forwarding wrapper (MuxMsg, FacedSelfMsg): it carries another payload's
+identity, is exempt from orphan/black-hole/duplicate rules, and is
+listed in the map's "wrappers" section.
+
+Subcommands:
+    extract    write the protocol map JSON (byte-stable across runs)
+    check      extract + run conformance rules (+ optional --baseline
+               diff against the committed docs/protocol_map.json)
+    render     render/refresh-check docs/protocol-map.md from a map
+               JSON (pure python: works without libclang)
+    self-test  run extraction+rules over the fixture corpus under
+               tests/protomap_corpus (each bad fixture must yield
+               exactly its `// protomap-expect:` rules; every good
+               fixture must be clean)
+    list-rules print the rule table
+
+Exit codes: 0 clean, 1 findings/diff/parse errors, 2 usage, 77 when
+libclang is unavailable (extract/check/self-test only; ctest marks 77
+as SKIP so local dev without libclang degrades gracefully).
+"""
+
+from __future__ import annotations
+
+import argparse
+import difflib
+import json
+import os
+import re
+import shlex
+import sys
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+EXIT_SKIP = 77
+
+SCHEMA = "valcon-protocol-map-v1"
+PAYLOAD_BASE = "valcon::sim::Payload"
+
+# Directory segments (anywhere in the repo-relative path) in which raw
+# t-arithmetic is banned: protocol code must use core/thresholds.hpp.
+QUORUM_DIRS = {"consensus", "bcast"}
+
+RULES = {
+    "orphan-payload":
+        "payload class declared but never constructed via make_payload --"
+        " dead wire format, or the sender was deleted without its message",
+    "black-hole":
+        "payload constructed and sent but no dynamic_cast dispatch site"
+        " handles it -- every delivery is silently dropped",
+    "duplicate-type":
+        "the same wire type string is claimed by more than one payload"
+        " class -- metrics and debugging conflate the two",
+    "raw-quorum":
+        "arithmetic on the fault bound `t` in protocol code (consensus/,"
+        " bcast/) -- vote thresholds must go through the named helpers in"
+        " core/thresholds.hpp",
+    "bad-suppression":
+        "malformed valcon-protomap suppression: unknown rule name or"
+        " missing ` -- reason`",
+}
+
+ALLOW_RE = re.compile(
+    r"//\s*valcon-protomap:\s*allow\(([a-z-]+)\)\s*--\s*\S")
+ANY_ALLOW_RE = re.compile(r"//\s*valcon-protomap:\s*allow\b")
+EXPECT_RE = re.compile(r"//\s*protomap-expect:\s*([a-z -]+)")
+GOOD_RE = re.compile(r"//\s*protomap-good:\s*([a-z -]+)")
+
+ARITH_OPS = {"+", "-", "*", "/", "%"}
+T_NAMES = {"t", "t_"}
+
+
+# --------------------------------------------------------------- libclang
+
+def load_cindex():
+    """Returns (clang.cindex module, None) or (None, reason)."""
+    try:
+        from clang import cindex  # type: ignore
+    except ImportError as exc:
+        return None, f"python clang bindings not importable ({exc})"
+    override = os.environ.get("VALCON_LIBCLANG")
+    if override:
+        try:
+            cindex.Config.set_library_file(override)
+        except Exception as exc:  # noqa: BLE001 -- report and skip
+            return None, f"VALCON_LIBCLANG={override} unusable ({exc})"
+    try:
+        cindex.Index.create()
+    except Exception as exc:  # noqa: BLE001 -- report and skip
+        return None, f"libclang shared library unavailable ({exc})"
+    return cindex, None
+
+
+# ----------------------------------------------------------- extraction
+
+class PayloadInfo:
+    """Everything the map records about one Payload-derived class."""
+
+    def __init__(self, qname, file, fields):
+        self.qname = qname
+        self.file = file
+        self.fields = fields
+        self.types = []
+        self.wrapper = False
+        self.decl_line = 0
+        self.senders = set()
+        self.handlers = set()
+        self.send_sites = []  # (file, line)
+        self.handle_sites = []  # (file, line)
+
+
+class Extraction:
+    """Aggregated (deduped) extraction result across all parsed TUs."""
+
+    def __init__(self):
+        self.payloads = {}  # qname -> PayloadInfo
+        self.raw_quorum_sites = {}  # (file, line, col) -> op
+        self.seen_sites = set()
+        self.files = set()  # repo-relative files visited
+
+
+def relpath(path, root):
+    return os.path.relpath(os.path.realpath(path),
+                           os.path.realpath(root)).replace(os.sep, "/")
+
+
+class TuScanner:
+    """One compile_commands-driven libclang pass, merging into an
+    Extraction. Only cursors located under `scan_root` are visited, so
+    system headers are pruned at the translation-unit top level."""
+
+    def __init__(self, ci, extraction, scan_root, source_root):
+        self.ci = ci
+        self.ex = extraction
+        self.scan_root = os.path.realpath(scan_root)
+        self.source_root = os.path.realpath(source_root)
+        self.index = ci.Index.create()
+        self._payload_cache = {}
+
+    def in_scope(self, location):
+        if location.file is None:
+            return False
+        real = os.path.realpath(location.file.name)
+        return real.startswith(self.scan_root + os.sep) or \
+            real == self.scan_root
+
+    def parse(self, path, args):
+        tu = self.index.parse(path, args=args)
+        errors = [d for d in tu.diagnostics
+                  if d.severity >= self.ci.Diagnostic.Error]
+        if errors:
+            lines = [f"{d.location.file}:{d.location.line}: {d.spelling}"
+                     for d in errors[:10]]
+            raise RuntimeError(
+                f"parse errors in {path} (extraction needs a clean"
+                " parse):\n  " + "\n  ".join(lines))
+        self.scan(tu)
+
+    # -- naming helpers
+
+    def qname(self, cursor):
+        ck = self.ci.CursorKind
+        named = (ck.NAMESPACE, ck.STRUCT_DECL, ck.CLASS_DECL,
+                 ck.CLASS_TEMPLATE, ck.UNION_DECL, ck.ENUM_DECL)
+        parts = []
+        cur = cursor
+        while cur is not None and cur.kind != ck.TRANSLATION_UNIT:
+            if cur.kind in named and cur.spelling:
+                parts.append(cur.spelling)
+            cur = cur.semantic_parent
+        return "::".join(reversed(parts))
+
+    def derives_from_payload(self, record):
+        usr = record.get_usr()
+        if usr in self._payload_cache:
+            return self._payload_cache[usr]
+        self._payload_cache[usr] = False  # cycle guard
+        result = False
+        ck = self.ci.CursorKind
+        for child in record.get_children():
+            if child.kind != ck.CXX_BASE_SPECIFIER:
+                continue
+            base = child.type.get_declaration()
+            if base is None or not base.spelling:
+                continue
+            if self.qname(base) == PAYLOAD_BASE:
+                result = True
+                break
+            base_def = base.get_definition() or base
+            if self.derives_from_payload(base_def):
+                result = True
+                break
+        self._payload_cache[usr] = result
+        return result
+
+    # -- per-class facts
+
+    def type_literals(self, record):
+        """Wire names: VALCON_PAYLOAD_TYPE macro literal, else string
+        literals inside a hand-written type_id() body, else [] (the
+        class is a forwarding wrapper)."""
+        tokens = [t.spelling for t in record.get_tokens()]
+        for i, tok in enumerate(tokens):
+            if tok == "VALCON_PAYLOAD_TYPE":
+                for j in range(i + 1, min(i + 5, len(tokens))):
+                    if tokens[j].startswith('"'):
+                        return [tokens[j][1:-1]]
+        ck = self.ci.CursorKind
+        for child in record.get_children():
+            if child.kind == ck.CXX_METHOD and child.spelling == "type_id":
+                lits = [t.spelling[1:-1] for t in child.get_tokens()
+                        if t.spelling.startswith('"')]
+                if lits:
+                    return lits
+        return []
+
+    def register_payload(self, record):
+        qn = self.qname(record)
+        if qn in self.ex.payloads:
+            return
+        ck = self.ci.CursorKind
+        fields = [c.spelling for c in record.get_children()
+                  if c.kind == ck.FIELD_DECL]
+        info = PayloadInfo(qn, relpath(record.location.file.name,
+                                       self.source_root), fields)
+        info.decl_line = record.extent.start.line
+        info.types = self.type_literals(record)
+        info.wrapper = not info.types
+        self.ex.payloads[qn] = info
+
+    # -- per-site facts
+
+    def payload_of_make_payload(self, call):
+        ref = call.referenced
+        if ref is not None:
+            try:
+                if ref.get_num_template_arguments() > 0:
+                    decl = ref.get_template_argument_type(
+                        0).get_declaration()
+                    if decl is not None and decl.spelling:
+                        return self.qname(decl)
+            except Exception:  # noqa: BLE001 -- fall through to tokens
+                pass
+        # Token fallback: `make_payload < Name >` with the innermost
+        # identifier before `>` as the class name (unqualified; resolved
+        # against the registered payloads by unique suffix).
+        tokens = [t.spelling for t in call.get_tokens()]
+        try:
+            i = tokens.index("make_payload")
+            j = tokens.index("<", i)
+            k = tokens.index(">", j)
+            name = "::".join(t for t in tokens[j + 1:k] if t != "::")
+            return ("?", name)
+        except ValueError:
+            return None
+
+    def binop_spelling(self, cursor):
+        kids = list(cursor.get_children())
+        if len(kids) != 2:
+            return None
+        left_end = kids[0].extent.end.offset
+        right_start = kids[1].extent.start.offset
+        for tok in cursor.get_tokens():
+            off = tok.extent.start.offset
+            if left_end <= off < right_start and tok.spelling in ARITH_OPS:
+                return tok.spelling
+        return None
+
+    def subtree_references_t(self, cursor):
+        ck = self.ci.CursorKind
+        stack = [cursor]
+        while stack:
+            cur = stack.pop()
+            if cur.kind in (ck.DECL_REF_EXPR, ck.MEMBER_REF_EXPR) and \
+                    cur.spelling in T_NAMES:
+                return True
+            if cur.kind == ck.CALL_EXPR:
+                ref = cur.referenced
+                if ref is not None and ref.spelling in T_NAMES:
+                    return True
+            stack.extend(cur.get_children())
+        return False
+
+    def quorum_scoped(self, file_rel):
+        parts = file_rel.split("/")
+        return any(p in QUORUM_DIRS for p in parts[:-1])
+
+    # -- the walk
+
+    def scan(self, tu):
+        ck = self.ci.CursorKind
+        record_kinds = (ck.STRUCT_DECL, ck.CLASS_DECL)
+        func_kinds = (ck.CXX_METHOD, ck.FUNCTION_DECL, ck.CONSTRUCTOR,
+                      ck.DESTRUCTOR, ck.FUNCTION_TEMPLATE)
+        stack = [(child, "") for child in tu.cursor.get_children()
+                 if self.in_scope(child.location)]
+        while stack:
+            cur, cls = stack.pop()
+            kind = cur.kind
+            loc = cur.location
+            file_rel = relpath(loc.file.name, self.source_root) \
+                if loc.file is not None else ""
+            if file_rel:
+                self.ex.files.add(file_rel)
+
+            if kind in record_kinds and cur.is_definition() and cur.spelling:
+                if self.derives_from_payload(cur):
+                    self.register_payload(cur)
+                cls = self.qname(cur)
+            elif kind in func_kinds:
+                parent = cur.semantic_parent
+                if parent is not None and parent.kind in (
+                        ck.STRUCT_DECL, ck.CLASS_DECL, ck.CLASS_TEMPLATE):
+                    cls = self.qname(parent)
+            elif kind == ck.CALL_EXPR:
+                ref = cur.referenced
+                if ref is not None and ref.spelling == "make_payload":
+                    key = ("send", file_rel, loc.line, loc.column)
+                    if key not in self.ex.seen_sites:
+                        self.ex.seen_sites.add(key)
+                        target = self.payload_of_make_payload(cur)
+                        self.note_send(target, cls, file_rel, loc.line)
+            elif kind == ck.CXX_DYNAMIC_CAST_EXPR:
+                pointee = cur.type.get_pointee()
+                decl = pointee.get_declaration()
+                if decl is not None and decl.spelling:
+                    key = ("handle", file_rel, loc.line, loc.column)
+                    if key not in self.ex.seen_sites:
+                        self.ex.seen_sites.add(key)
+                        self.note_handle(self.qname(decl), cls, file_rel,
+                                         loc.line)
+            elif kind == ck.BINARY_OPERATOR and self.quorum_scoped(file_rel):
+                op = self.binop_spelling(cur)
+                if op is not None and self.subtree_references_t(cur):
+                    self.ex.raw_quorum_sites.setdefault(
+                        (file_rel, loc.line, loc.column), op)
+
+            stack.extend((child, cls) for child in cur.get_children())
+
+    def note_send(self, target, sender, file_rel, line):
+        self.pending_sends = getattr(self, "pending_sends", [])
+        self.pending_sends.append((target, sender or "<file-scope>",
+                                   file_rel, line))
+
+    def note_handle(self, qn, handler, file_rel, line):
+        self.pending_handles = getattr(self, "pending_handles", [])
+        self.pending_handles.append((qn, handler or "<file-scope>",
+                                     file_rel, line))
+
+    def resolve_sites(self):
+        """Attach recorded sites to payloads; non-payload dynamic_casts
+        (e.g. QuadProposal downcasts) are dropped here by name lookup."""
+        for target, sender, file_rel, line in getattr(
+                self, "pending_sends", []):
+            qn = self.resolve_target(target, sender)
+            if qn is None:
+                continue
+            info = self.ex.payloads[qn]
+            info.senders.add(sender)
+            info.send_sites.append((file_rel, line))
+        for qn, handler, file_rel, line in getattr(
+                self, "pending_handles", []):
+            if qn not in self.ex.payloads:
+                continue
+            info = self.ex.payloads[qn]
+            info.handlers.add(handler)
+            info.handle_sites.append((file_rel, line))
+
+    def resolve_target(self, target, sender):
+        if target is None:
+            return None
+        if isinstance(target, str):
+            return target if target in self.ex.payloads else None
+        # ("?", unqualified-or-partial name): unique-suffix resolution,
+        # preferring a payload nested in the sender's enclosing class.
+        _, name = target
+        suffix = "::" + name
+        candidates = [qn for qn in self.ex.payloads
+                      if qn == name or qn.endswith(suffix)]
+        if len(candidates) > 1 and sender:
+            scope = sender.split("::")
+            scoped = [qn for qn in candidates
+                      if qn.split("::")[:-1] == scope or
+                      qn.startswith(sender.rsplit("::", 1)[0] + "::")]
+            if len(scoped) == 1:
+                return scoped[0]
+        return candidates[0] if len(candidates) == 1 else None
+
+
+# ------------------------------------------------------------ the rules
+
+def line_allows(source_lines, line_no, rule):
+    """True if `line_no` (1-based) or the line above carries a
+    well-formed allow() for `rule`."""
+    for candidate in (line_no, line_no - 1):
+        if 1 <= candidate <= len(source_lines):
+            m = ALLOW_RE.search(source_lines[candidate - 1])
+            if m and m.group(1) == rule:
+                return True
+    return False
+
+
+def scan_suppressions(path, rel, findings):
+    """The bad-suppression rule: every valcon-protomap marker must be a
+    well-formed allow(<known-rule>) -- reason."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+    except OSError:
+        return []
+    for i, text in enumerate(lines, start=1):
+        if not ANY_ALLOW_RE.search(text):
+            continue
+        m = ALLOW_RE.search(text)
+        if m is None:
+            findings.append(("bad-suppression", rel, i,
+                             "malformed suppression (want `//"
+                             " valcon-protomap: allow(rule) -- reason`)"))
+        elif m.group(1) not in RULES:
+            findings.append(("bad-suppression", rel, i,
+                             f"unknown rule '{m.group(1)}'"))
+    return lines
+
+
+def evaluate(extraction, source_root, extra_files=()):
+    """Runs the conformance rules over an Extraction; returns findings
+    as (rule, file, line, message) sorted for deterministic output."""
+    findings = []
+    file_lines = {}
+
+    def lines_of(rel):
+        if rel not in file_lines:
+            path = os.path.join(source_root, rel)
+            file_lines[rel] = scan_suppressions(path, rel, findings)
+        return file_lines[rel]
+
+    for rel in sorted(set(extraction.files) | set(extra_files)):
+        lines_of(rel)
+
+    by_type = {}
+    for qn in sorted(extraction.payloads):
+        info = extraction.payloads[qn]
+        for ts in info.types:
+            by_type.setdefault(ts, []).append(info)
+        if info.wrapper:
+            continue
+        lines = lines_of(info.file)
+        if not info.send_sites:
+            if not line_allows(lines, info.decl_line, "orphan-payload"):
+                findings.append((
+                    "orphan-payload", info.file, info.decl_line,
+                    f"{info.qname} is never constructed via make_payload"))
+        elif not info.handle_sites:
+            if not line_allows(lines, info.decl_line, "black-hole"):
+                findings.append((
+                    "black-hole", info.file, info.decl_line,
+                    f"{info.qname} is sent but no dispatch site handles"
+                    " it"))
+
+    for ts in sorted(by_type):
+        infos = by_type[ts]
+        if len(infos) < 2:
+            continue
+        if any(line_allows(lines_of(i.file), i.decl_line, "duplicate-type")
+               for i in infos):
+            continue
+        owners = ", ".join(sorted(i.qname for i in infos))
+        first = min(infos, key=lambda i: (i.file, i.decl_line))
+        findings.append((
+            "duplicate-type", first.file, first.decl_line,
+            f'wire type "{ts}" claimed by {owners}'))
+
+    for (rel, line, _col) in sorted(extraction.raw_quorum_sites):
+        op = extraction.raw_quorum_sites[(rel, line, _col)]
+        if line_allows(lines_of(rel), line, "raw-quorum"):
+            continue
+        findings.append((
+            "raw-quorum", rel, line,
+            f"arithmetic `{op}` on the fault bound t in protocol code;"
+            " use core/thresholds.hpp"))
+
+    return sorted(set(findings))
+
+
+# ----------------------------------------------------------- map output
+
+def build_map(extraction):
+    payloads = []
+    wrappers = []
+    for qn in sorted(extraction.payloads):
+        info = extraction.payloads[qn]
+        entry = {
+            "class": qn,
+            "file": info.file,
+            "fields": info.fields,
+            "senders": sorted(info.senders),
+            "handlers": sorted(info.handlers),
+        }
+        if info.wrapper:
+            wrappers.append(entry)
+        else:
+            entry = {"class": qn, "file": info.file,
+                     "types": sorted(info.types),
+                     "fields": info.fields,
+                     "senders": sorted(info.senders),
+                     "handlers": sorted(info.handlers)}
+            payloads.append(entry)
+    return {"schema": SCHEMA, "payloads": payloads, "wrappers": wrappers}
+
+
+def dump_map(protocol_map):
+    return json.dumps(protocol_map, indent=2) + "\n"
+
+
+def short(qname):
+    return qname[len("valcon::"):] if qname.startswith("valcon::") else qname
+
+
+def render_markdown(protocol_map):
+    out = []
+    out.append("# Protocol map")
+    out.append("")
+    out.append("<!-- Generated by `tools/valcon_protomap.py render` from"
+               " docs/protocol_map.json; do not edit by hand. -->")
+    out.append("")
+    out.append("Extracted from the AST by `tools/valcon_protomap.py` (see"
+               " docs/static-analysis.md, layer 4): every payload class,"
+               " its wire type strings and fields, the classes that"
+               " construct/send it and the classes that dispatch on it.")
+    out.append("")
+    out.append("## Payloads")
+    out.append("")
+    out.append("| Type | Class | Fields | Sent by | Handled by |")
+    out.append("|---|---|---|---|---|")
+    rows = []
+    for entry in protocol_map["payloads"]:
+        for ts in entry["types"]:
+            rows.append((ts, entry))
+    for ts, entry in sorted(rows, key=lambda r: r[0]):
+        rows_senders = ", ".join(short(s) for s in entry["senders"]) or "—"
+        rows_handlers = ", ".join(short(h) for h in entry["handlers"]) or "—"
+        fields = ", ".join(entry["fields"]) or "—"
+        out.append(f"| `{ts}` | `{short(entry['class'])}` | {fields} |"
+                   f" {rows_senders} | {rows_handlers} |")
+    out.append("")
+    out.append("## Forwarding wrappers")
+    out.append("")
+    out.append("Wrappers forward the inner payload's identity (no wire"
+               " type string of their own) and are exempt from the"
+               " orphan/black-hole/duplicate rules.")
+    out.append("")
+    out.append("| Class | Fields | Sent by | Handled by |")
+    out.append("|---|---|---|---|")
+    for entry in protocol_map["wrappers"]:
+        fields = ", ".join(entry["fields"]) or "—"
+        senders = ", ".join(short(s) for s in entry["senders"]) or "—"
+        handlers = ", ".join(short(h) for h in entry["handlers"]) or "—"
+        out.append(f"| `{short(entry['class'])}` | {fields} | {senders} |"
+                   f" {handlers} |")
+    out.append("")
+    n_types = sum(len(e["types"]) for e in protocol_map["payloads"])
+    out.append(f"{len(protocol_map['payloads'])} payload classes,"
+               f" {n_types} wire types,"
+               f" {len(protocol_map['wrappers'])} wrappers.")
+    return "\n".join(out) + "\n"
+
+
+# ------------------------------------------------------------- commands
+
+def print_findings(findings):
+    for rule, rel, line, message in findings:
+        print(f"{rel}:{line}: [{rule}] {message}")
+    print(f"valcon_protomap: {len(findings)} finding(s)")
+
+
+def extract_tree(ci, compile_commands, source_root):
+    with open(compile_commands, encoding="utf-8") as fh:
+        entries = json.load(fh)
+    scan_root = os.path.join(source_root, "src", "valcon")
+    scanner = TuScanner(ci, Extraction(), scan_root, source_root)
+    seen = set()
+    parsed = 0
+    for entry in sorted(entries, key=lambda e: e["file"]):
+        path = entry["file"]
+        if not os.path.isabs(path):
+            path = os.path.join(entry["directory"], path)
+        path = os.path.realpath(path)
+        if path in seen:
+            continue
+        seen.add(path)
+        if not path.startswith(os.path.realpath(scan_root) + os.sep):
+            continue
+        scanner.parse(path, tu_args(entry))
+        parsed += 1
+    if parsed == 0:
+        raise RuntimeError(
+            f"no src/valcon TUs in {compile_commands}; configure with"
+            " cmake first (CMAKE_EXPORT_COMPILE_COMMANDS is ON)")
+    scanner.resolve_sites()
+    return scanner.ex
+
+
+def tu_args(entry):
+    if "arguments" in entry:
+        argv = list(entry["arguments"])
+    else:
+        argv = shlex.split(entry["command"])
+    directory = entry["directory"]
+    args = []
+    i = 1
+    while i < len(argv):
+        arg = argv[i]
+        if arg.startswith(("-I", "-D", "-U")) and len(arg) > 2:
+            if arg.startswith("-I") and not os.path.isabs(arg[2:]):
+                arg = "-I" + os.path.join(directory, arg[2:])
+            args.append(arg)
+        elif arg in ("-I", "-isystem", "-include", "-D", "-U"):
+            value = argv[i + 1] if i + 1 < len(argv) else ""
+            i += 1
+            if arg in ("-I", "-isystem", "-include") and \
+                    not os.path.isabs(value):
+                value = os.path.join(directory, value)
+            args.extend([arg, value])
+        elif arg.startswith("-std="):
+            args.append(arg)
+        i += 1
+    return args
+
+
+def cmd_extract(args):
+    ci, reason = load_cindex()
+    if ci is None:
+        print(f"valcon_protomap: SKIP: {reason}", file=sys.stderr)
+        return EXIT_SKIP
+    extraction = extract_tree(ci, args.compile_commands, args.source_root)
+    text = dump_map(build_map(extraction))
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"valcon_protomap: wrote {args.out}"
+              f" ({len(extraction.payloads)} payload classes)")
+    else:
+        sys.stdout.write(text)
+    return EXIT_CLEAN
+
+
+def cmd_check(args):
+    ci, reason = load_cindex()
+    if ci is None:
+        print(f"valcon_protomap: SKIP: {reason}", file=sys.stderr)
+        return EXIT_SKIP
+    extraction = extract_tree(ci, args.compile_commands, args.source_root)
+    findings = evaluate(extraction, args.source_root)
+    status = EXIT_CLEAN
+    if findings:
+        print_findings(findings)
+        status = EXIT_FINDINGS
+    fresh = dump_map(build_map(extraction))
+    if args.map_out:
+        with open(args.map_out, "w", encoding="utf-8") as fh:
+            fh.write(fresh)
+    if args.baseline:
+        try:
+            with open(args.baseline, encoding="utf-8") as fh:
+                committed = fh.read()
+        except OSError:
+            committed = ""
+        if committed != fresh:
+            diff = difflib.unified_diff(
+                committed.splitlines(keepends=True),
+                fresh.splitlines(keepends=True),
+                fromfile=args.baseline, tofile="fresh extraction")
+            sys.stdout.writelines(diff)
+            print(f"valcon_protomap: {args.baseline} is stale; refresh"
+                  " with:\n  python3 tools/valcon_protomap.py extract"
+                  f" --compile-commands {args.compile_commands}"
+                  f" --out {args.baseline}\n  python3"
+                  " tools/valcon_protomap.py render --map"
+                  f" {args.baseline} --out docs/protocol-map.md")
+            status = EXIT_FINDINGS
+    if status == EXIT_CLEAN:
+        n_types = sum(len(p.types) for p in extraction.payloads.values())
+        print(f"valcon_protomap: clean ({len(extraction.payloads)}"
+              f" payload classes, {n_types} wire types)")
+    return status
+
+
+def cmd_render(args):
+    with open(args.map, encoding="utf-8") as fh:
+        protocol_map = json.load(fh)
+    if protocol_map.get("schema") != SCHEMA:
+        print(f"error: {args.map} is not a {SCHEMA} document",
+              file=sys.stderr)
+        return EXIT_FINDINGS
+    text = render_markdown(protocol_map)
+    if args.check:
+        try:
+            with open(args.check, encoding="utf-8") as fh:
+                on_disk = fh.read()
+        except OSError:
+            on_disk = ""
+        if on_disk != text:
+            diff = difflib.unified_diff(
+                on_disk.splitlines(keepends=True),
+                text.splitlines(keepends=True),
+                fromfile=args.check, tofile="fresh render")
+            sys.stdout.writelines(diff)
+            print(f"valcon_protomap: {args.check} is stale; refresh with:"
+                  "\n  python3 tools/valcon_protomap.py render --map"
+                  f" {args.map} --out {args.check}")
+            return EXIT_FINDINGS
+        print(f"valcon_protomap: {args.check} is fresh")
+        return EXIT_CLEAN
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"valcon_protomap: wrote {args.out}")
+    else:
+        sys.stdout.write(text)
+    return EXIT_CLEAN
+
+
+def cmd_self_test(args):
+    ci, reason = load_cindex()
+    if ci is None:
+        print(f"valcon_protomap: SKIP: {reason}", file=sys.stderr)
+        return EXIT_SKIP
+    corpus = os.path.realpath(args.corpus)
+    support = os.path.join(corpus, "support")
+    fixtures = []
+    for sub in ("bad", "good"):
+        for dirpath, _dirs, files in os.walk(os.path.join(corpus, sub)):
+            for name in sorted(files):
+                if name.endswith(".cpp"):
+                    fixtures.append((sub, os.path.join(dirpath, name)))
+    if not fixtures:
+        print(f"error: no fixtures under {corpus}", file=sys.stderr)
+        return EXIT_USAGE
+
+    failures = 0
+    covered_bad = set()
+    covered_good = set()
+    for sub, path in sorted(fixtures):
+        rel = relpath(path, corpus)
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        expected = set()
+        for m in EXPECT_RE.finditer(text):
+            expected.update(m.group(1).split())
+        for m in GOOD_RE.finditer(text):
+            covered_good.update(m.group(1).split())
+        unknown = (expected - RULES.keys()) | (covered_good - RULES.keys())
+        if unknown:
+            print(f"FAIL {rel}: unknown rule(s) in markers:"
+                  f" {sorted(unknown)}")
+            failures += 1
+            continue
+
+        scanner = TuScanner(ci, Extraction(), corpus, corpus)
+        try:
+            scanner.parse(path, ["-std=c++20", f"-I{support}"])
+        except RuntimeError as exc:
+            print(f"FAIL {rel}: {exc}")
+            failures += 1
+            continue
+        scanner.resolve_sites()
+        found = {f[0] for f in evaluate(scanner.ex, corpus,
+                                        extra_files=[rel])}
+        if sub == "bad":
+            if found != expected:
+                print(f"FAIL {rel}: expected {sorted(expected)},"
+                      f" found {sorted(found)}")
+                failures += 1
+            else:
+                covered_bad.update(expected)
+        else:
+            if found:
+                print(f"FAIL {rel}: good fixture has findings:"
+                      f" {sorted(found)}")
+                failures += 1
+
+    missing_bad = RULES.keys() - covered_bad
+    missing_good = RULES.keys() - covered_good
+    if missing_bad:
+        print(f"FAIL corpus: no bad fixture covers {sorted(missing_bad)}")
+        failures += 1
+    if missing_good:
+        print(f"FAIL corpus: no good fixture covers"
+              f" {sorted(missing_good)}")
+        failures += 1
+    if failures:
+        print(f"valcon_protomap self-test: {failures} failure(s)")
+        return EXIT_FINDINGS
+    print(f"valcon_protomap self-test: OK"
+          f" ({len(fixtures)} fixtures, {len(RULES)} rules)")
+    return EXIT_CLEAN
+
+
+def cmd_list_rules(_args):
+    for rule in sorted(RULES):
+        print(f"{rule}: {RULES[rule]}")
+    return EXIT_CLEAN
+
+
+def main(argv):
+    default_root = os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))
+    parser = argparse.ArgumentParser(prog="valcon_protomap.py")
+    sub = parser.add_subparsers(dest="command")
+
+    p_extract = sub.add_parser("extract", help="write the protocol map")
+    p_extract.add_argument("--compile-commands", required=True)
+    p_extract.add_argument("--source-root", default=default_root)
+    p_extract.add_argument("--out")
+
+    p_check = sub.add_parser("check", help="extract + conformance rules")
+    p_check.add_argument("--compile-commands", required=True)
+    p_check.add_argument("--source-root", default=default_root)
+    p_check.add_argument("--baseline")
+    p_check.add_argument("--map-out")
+
+    p_render = sub.add_parser("render", help="render protocol-map.md")
+    p_render.add_argument("--map", required=True)
+    p_render.add_argument("--out")
+    p_render.add_argument("--check")
+
+    p_self = sub.add_parser("self-test", help="run the fixture corpus")
+    p_self.add_argument("corpus")
+
+    sub.add_parser("list-rules", help="print the rule table")
+
+    args = parser.parse_args(argv)
+    handlers = {
+        "extract": cmd_extract,
+        "check": cmd_check,
+        "render": cmd_render,
+        "self-test": cmd_self_test,
+        "list-rules": cmd_list_rules,
+    }
+    if args.command not in handlers:
+        parser.print_help(sys.stderr)
+        return EXIT_USAGE
+    try:
+        return handlers[args.command](args)
+    except RuntimeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_FINDINGS
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
