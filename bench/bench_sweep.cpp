@@ -9,9 +9,15 @@
 // `bench_sweep --json [--out FILE]` instead emits the machine-readable
 // perf-baseline document (BENCH_*.json): the simulator hot path driven by a
 // token-storm workload (events/sec, messages/sec, ns/message, heap
-// allocations per message measured by a global operator-new counter) plus
-// full-matrix sweep throughput (cells/sec). docs/performance.md describes
-// the schema and how to read the numbers.
+// allocations per message measured by a global operator-new counter),
+// full-matrix sweep throughput (cells/sec), and the quorum-certificate
+// section — the same fault-free workload under cert_mode per-vote and
+// aggregate, normalized per decision (messages_per_decision,
+// verifies_per_decision, ns_per_decision). Every section carries both the
+// machine's `hardware_concurrency` and the `jobs` the section actually
+// used; the two were previously conflated, which made documents from
+// jobs-capped runs unreadable. docs/performance.md describes the schema
+// and how to read the numbers.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -22,8 +28,10 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "valcon/core/quorum.hpp"
 #include "valcon/harness/sweep.hpp"
 #include "valcon/harness/table.hpp"
 #include "valcon/sim/component.hpp"
@@ -252,10 +260,88 @@ SweepThroughput run_sweep_throughput(const std::string& matrix_name, int jobs) {
   return r;
 }
 
+// ---------------------------------------------------------------- QC bench
+//
+// The headline measurement of the aggregate-certificate backend
+// (core/quorum.hpp): the same fault-free workload run under both cert
+// modes, normalized per decision. messages_per_decision falls under
+// aggregation because a quorum-reaching process broadcasts one certificate
+// instead of every process relaying every vote; verifies_per_decision
+// falls to about one check per quorum because the aggregate is verified
+// once at certification instead of once per incoming vote. The auth stack
+// (Quad) is signature-heavy, so it shows the verify win; the nonauth stack
+// shows the message win.
+struct QcModeResult {
+  std::string stack;  // "auth" or "nonauth"
+  std::string mode;   // cert_mode_token()
+  int jobs = 0;
+  std::size_t cells = 0;
+  std::uint64_t decisions = 0;
+  std::uint64_t messages = 0;
+  std::uint64_t verifies = 0;
+  double wall_seconds = 0.0;
+
+  [[nodiscard]] double messages_per_decision() const {
+    return decisions > 0
+               ? static_cast<double>(messages) / static_cast<double>(decisions)
+               : 0;
+  }
+  [[nodiscard]] double verifies_per_decision() const {
+    return decisions > 0
+               ? static_cast<double>(verifies) / static_cast<double>(decisions)
+               : 0;
+  }
+  [[nodiscard]] double ns_per_decision() const {
+    return decisions > 0
+               ? wall_seconds * 1e9 / static_cast<double>(decisions)
+               : 0;
+  }
+};
+
+QcModeResult run_qc_mode(VcKind vc, const char* stack, core::CertMode mode,
+                         int jobs) {
+  std::vector<std::uint64_t> seeds(8);
+  for (std::size_t s = 0; s < seeds.size(); ++s) seeds[s] = s + 1;
+  const ScenarioMatrix matrix = ScenarioMatrix()
+                                    .vc_kinds({vc})
+                                    .validities({ValidityKind::kStrong})
+                                    .faults({FaultSpec{"silent", 0}})
+                                    .sizes({{7, 2}})
+                                    .cert_modes({mode})
+                                    .seeds(seeds);
+  QcModeResult r;
+  r.stack = stack;
+  r.mode = core::cert_mode_token(mode);
+  r.jobs = jobs;
+  const auto start = std::chrono::steady_clock::now();
+  SweepRunner(jobs).run_range(matrix, 0, matrix.size(), [&](SweepOutcome&& o) {
+    ++r.cells;
+    r.decisions += o.result.decisions.size();
+    r.messages += o.result.messages_total;
+    r.verifies += o.result.verifies_total;
+  });
+  r.wall_seconds = seconds_since(start);
+  return r;
+}
+
+std::vector<QcModeResult> run_qc_section(int jobs) {
+  std::vector<QcModeResult> out;
+  for (const auto& [vc, stack] :
+       {std::pair<VcKind, const char*>{VcKind::kAuthenticated, "auth"},
+        std::pair<VcKind, const char*>{VcKind::kNonAuthenticated,
+                                       "nonauth"}}) {
+    for (const core::CertMode mode :
+         {core::CertMode::kPerVote, core::CertMode::kAggregate}) {
+      out.push_back(run_qc_mode(vc, stack, mode, jobs));
+    }
+  }
+  return out;
+}
+
 // Minimal JSON emitter: every value here is a number or a fixed string, so
 // escaping never comes up. Field order is fixed for easy diffing.
 std::string json_document(const HotPathResult& hot, const SweepThroughput& sw,
-                          unsigned hw) {
+                          const std::vector<QcModeResult>& qc, unsigned hw) {
   std::ostringstream out;
   out.precision(17);
   const char* build_type =
@@ -266,10 +352,12 @@ std::string json_document(const HotPathResult& hot, const SweepThroughput& sw,
 #endif
   out << "{\n"
       << "  \"bench\": \"sweep-throughput\",\n"
-      << "  \"schema\": \"valcon-bench-v1\",\n"
+      << "  \"schema\": \"valcon-bench-v2\",\n"
       << "  \"build_type\": \"" << build_type << "\",\n"
       << "  \"hardware_concurrency\": " << hw << ",\n"
       << "  \"hot_path\": {\n"
+      << "    \"hardware_concurrency\": " << hw << ",\n"
+      << "    \"jobs\": 1,\n"
       << "    \"processes\": " << hot.processes << ",\n"
       << "    \"tokens\": " << hot.tokens << ",\n"
       << "    \"horizon\": " << hot.horizon << ",\n"
@@ -285,6 +373,7 @@ std::string json_document(const HotPathResult& hot, const SweepThroughput& sw,
       << "  },\n"
       << "  \"sweep\": {\n"
       << "    \"matrix\": \"" << sw.matrix << "\",\n"
+      << "    \"hardware_concurrency\": " << hw << ",\n"
       << "    \"jobs\": " << sw.jobs << ",\n"
       << "    \"cells\": " << sw.cells << ",\n"
       << "    \"messages\": " << sw.messages << ",\n"
@@ -292,7 +381,28 @@ std::string json_document(const HotPathResult& hot, const SweepThroughput& sw,
       << "    \"cells_per_second\": " << sw.cells_per_second() << ",\n"
       << "    \"messages_per_second\": " << sw.messages_per_second() << ",\n"
       << "    \"ns_per_message\": " << sw.ns_per_message() << "\n"
-      << "  }\n"
+      << "  },\n"
+      << "  \"qc\": [\n";
+  for (std::size_t i = 0; i < qc.size(); ++i) {
+    const QcModeResult& r = qc[i];
+    out << "    {\n"
+        << "      \"stack\": \"" << r.stack << "\",\n"
+        << "      \"cert_mode\": \"" << r.mode << "\",\n"
+        << "      \"hardware_concurrency\": " << hw << ",\n"
+        << "      \"jobs\": " << r.jobs << ",\n"
+        << "      \"cells\": " << r.cells << ",\n"
+        << "      \"decisions\": " << r.decisions << ",\n"
+        << "      \"messages\": " << r.messages << ",\n"
+        << "      \"verifies\": " << r.verifies << ",\n"
+        << "      \"wall_seconds\": " << r.wall_seconds << ",\n"
+        << "      \"messages_per_decision\": " << r.messages_per_decision()
+        << ",\n"
+        << "      \"verifies_per_decision\": " << r.verifies_per_decision()
+        << ",\n"
+        << "      \"ns_per_decision\": " << r.ns_per_decision() << "\n"
+        << "    }" << (i + 1 < qc.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n"
       << "}\n";
   return out.str();
 }
@@ -310,7 +420,8 @@ int run_json_mode(const std::string& out_path) {
   }
   const int jobs = hw > 1 ? static_cast<int>(std::min(hw, 8u)) : 1;
   const SweepThroughput sweep = run_sweep_throughput("full", jobs);
-  const std::string doc = json_document(hot, sweep, hw);
+  const std::vector<QcModeResult> qc = run_qc_section(jobs);
+  const std::string doc = json_document(hot, sweep, qc, hw);
   if (out_path.empty()) {
     std::cout << doc;
   } else {
@@ -407,6 +518,39 @@ bool bench_validity_matrix() {
   return errors == 0;
 }
 
+// The QC section for humans: the per-decision table plus the direction
+// checks the CI smoke run enforces — aggregation must cut messages per
+// decision on the nonauth stack (votes stop being relayed all-to-all) and
+// verifies per decision on the auth stack (one aggregate check replaces
+// the per-vote checks).
+bool bench_qc() {
+  const std::vector<QcModeResult> qc = run_qc_section(4);
+  Table table({"stack", "cert_mode", "cells", "decisions", "msg/decision",
+               "verify/decision", "ns/decision"});
+  for (const QcModeResult& r : qc) {
+    table.add_row({r.stack, r.mode, std::to_string(r.cells),
+                   std::to_string(r.decisions),
+                   fmt(r.messages_per_decision(), 1),
+                   fmt(r.verifies_per_decision(), 1),
+                   fmt(r.ns_per_decision(), 0)});
+  }
+  std::cout << "quorum certificates (jobs=4, n=7, t=2, fault-free):\n";
+  table.print();
+  bool ok = true;
+  // run_qc_section order: auth/per-vote, auth/aggregate, nonauth/per-vote,
+  // nonauth/aggregate.
+  if (qc[1].verifies_per_decision() >= qc[0].verifies_per_decision()) {
+    std::cerr << "FAIL: aggregate did not cut verifies/decision (auth)\n";
+    ok = false;
+  }
+  if (qc[3].messages_per_decision() >= qc[2].messages_per_decision()) {
+    std::cerr << "FAIL: aggregate did not cut msg/decision (nonauth)\n";
+    ok = false;
+  }
+  std::cout << "\n";
+  return ok;
+}
+
 // run_range streaming vs run() on the materialized vector: same outcomes,
 // comparable throughput, O(jobs) buffering.
 bool bench_run_range(const std::vector<SweepOutcome>& baseline) {
@@ -490,5 +634,7 @@ int main(int argc, char** argv) {
     std::cerr << "FAIL: lambda errors in the validity matrix\n";
     return 1;
   }
+  std::cout << "\n";
+  if (!bench_qc()) return 1;
   return 0;
 }

@@ -8,6 +8,20 @@
 //   ECHO(m)   : on first SEND from the sender            -> all
 //   READY(m)  : on ceil((n+t+1)/2) ECHOs or t+1 READYs   -> all
 //   deliver(m): on 2t+1 READYs
+//
+// CertMode::kAggregate replaces the all-to-all ECHO round with batched
+// votes (core/quorum.hpp): each receiver sends one signed echo-vote to the
+// designated sender, who certifies the echo quorum and broadcasts one
+// QuorumCertificatePayload carrying the content — O(n^2) echo traffic
+// becomes O(n). The READY round and the t+1 amplification rule are
+// unchanged, so delivery still needs 2t+1 readies. The trade is liveness
+// under a faulty sender: the one certificate broadcast is a single point
+// of failure, so a sender that crashes after SEND — or whose QC is garbled
+// in flight — leaves the echo votes uncertified and nobody delivers,
+// whereas per-vote Bracha's redundant all-to-all ECHO round can still
+// complete. Equivalent to the silent-sender outcome; the committed
+// cert_mode=aggregate corpus cell (tests/corpus/) pins this down in the
+// unsound regime, where the stall flips the termination verdict.
 #pragma once
 
 #include <cstdint>
@@ -17,7 +31,9 @@
 #include <utility>
 #include <vector>
 
+#include "valcon/core/quorum.hpp"
 #include "valcon/crypto/hash.hpp"
+#include "valcon/crypto/signatures.hpp"
 #include "valcon/sim/component.hpp"
 
 namespace valcon::bcast {
@@ -29,10 +45,12 @@ class ReliableBroadcast final : public sim::Component {
   using DeliverCb = std::function<void(sim::Context&, const Content&)>;
 
   ReliableBroadcast(ProcessId sender, DeliverCb on_deliver,
-                    std::size_t content_words = 1)
+                    std::size_t content_words = 1,
+                    core::CertMode cert_mode = core::CertMode::kPerVote)
       : sender_(sender),
         on_deliver_(std::move(on_deliver)),
-        content_words_(content_words) {}
+        content_words_(content_words),
+        cert_mode_(cert_mode) {}
 
   /// Invoked by the designated sender to broadcast `content`.
   void broadcast(sim::Context& ctx, Content content);
@@ -71,11 +89,36 @@ class ReliableBroadcast final : public sim::Component {
     std::size_t words_;
   };
 
+  /// One signed echo-vote, sent point-to-point to the designated sender in
+  /// aggregate mode instead of the all-to-all ECHO broadcast.
+  struct MEchoSig final : sim::Payload {
+    explicit MEchoSig(crypto::Signature sig_in) : sig(sig_in) {}
+    VALCON_PAYLOAD_TYPE("brb/echo-sig")
+    [[nodiscard]] std::size_t size_words() const override { return 1; }
+    crypto::Signature sig;
+  };
+
+  /// Tag for the echo-quorum certificate this instance broadcasts.
+  static constexpr std::uint32_t kTagEchoCert = 1;
+
   void maybe_progress(sim::Context& ctx);
+  void maybe_certify(sim::Context& ctx);
+  void on_echo_cert(sim::Context& ctx,
+                    const core::QuorumCertificatePayload& qc);
 
   ProcessId sender_;
   DeliverCb on_deliver_;
   std::size_t content_words_;
+  core::CertMode cert_mode_;
+
+  // Aggregate-mode state, live only at the designated sender: the digest
+  // its echo-votes must sign, the content to embed in the certificate, and
+  // the running tally.
+  bool sent_recorded_ = false;
+  bool cert_broadcast_ = false;
+  crypto::Hash echo_sig_digest_;
+  Content sent_content_;
+  core::QuorumCollector echo_votes_;
 
   bool echoed_ = false;
   bool readied_ = false;

@@ -41,7 +41,51 @@ struct BinaryConsensus::MDecided final : sim::Payload {
   bool value;
 };
 
+struct BinaryConsensus::MVoteSig final : sim::Payload {
+  MVoteSig(std::int64_t r, std::uint32_t s, std::optional<bool> v,
+           crypto::Signature sig_in)
+      : round(r), step(s), value(v), sig(sig_in) {}
+  VALCON_PAYLOAD_TYPE("bin/vote-sig")
+  [[nodiscard]] std::size_t size_words() const override { return 2; }
+  std::int64_t round;
+  std::uint32_t step;
+  std::optional<bool> value;
+  crypto::Signature sig;
+};
+
 // ------------------------------------------------------------ helpers
+
+namespace {
+
+// -1 encodes a nil vote, matching QuorumCertificatePayload's convention.
+std::int64_t encode_vote(std::optional<bool> v) {
+  if (!v.has_value()) return -1;
+  return *v ? 1 : 0;
+}
+
+bool decode_vote(std::int64_t encoded, std::optional<bool>& out) {
+  if (encoded == -1) {
+    out = std::nullopt;
+    return true;
+  }
+  if (encoded == 0 || encoded == 1) {
+    out = encoded == 1;
+    return true;
+  }
+  return false;  // malformed certificate
+}
+
+crypto::Hash vote_digest(int instance, std::int64_t round, std::uint32_t step,
+                         std::optional<bool> v) {
+  return crypto::Hasher("valcon/bin-vote-sig")
+      .add(instance)
+      .add(round)
+      .add(static_cast<std::int64_t>(step))
+      .add(encode_vote(v))
+      .finish();
+}
+
+}  // namespace
 
 bool BinaryConsensus::justified(bool v, sim::Context& ctx) const {
   return static_cast<int>(est_senders_[v ? 1 : 0].size()) >=
@@ -129,16 +173,79 @@ void BinaryConsensus::maybe_send_proposal(sim::Context& ctx) {
 
 void BinaryConsensus::do_prevote(sim::Context& ctx, std::optional<bool> v) {
   step_ = Step::kPrevote;
-  ctx.broadcast(sim::make_payload<MPrevote>(round_, v));
+  if (cert_mode_ == core::CertMode::kAggregate) {
+    send_vote(ctx, kStepPrevote, v);
+  } else {
+    ctx.broadcast(sim::make_payload<MPrevote>(round_, v));
+  }
   ctx.set_timer(timeout(round_, ctx),
                 static_cast<std::uint64_t>(round_) * 4 + 2);
 }
 
 void BinaryConsensus::do_precommit(sim::Context& ctx, std::optional<bool> v) {
   step_ = Step::kPrecommit;
-  ctx.broadcast(sim::make_payload<MPrecommit>(round_, v));
+  if (cert_mode_ == core::CertMode::kAggregate) {
+    send_vote(ctx, kStepPrecommit, v);
+  } else {
+    ctx.broadcast(sim::make_payload<MPrecommit>(round_, v));
+  }
   ctx.set_timer(timeout(round_, ctx),
                 static_cast<std::uint64_t>(round_) * 4 + 3);
+}
+
+void BinaryConsensus::send_vote(sim::Context& ctx, std::uint32_t step,
+                                std::optional<bool> v) {
+  const crypto::Signature sig =
+      ctx.signer().sign(vote_digest(instance_, round_, step, v));
+  const ProcessId leader = proposer_of(round_, ctx.n());
+  if (leader == ctx.id()) {
+    vote_tally_.add(sig);
+    maybe_certify_votes(ctx, round_, step, v);
+  } else {
+    ctx.send(leader, sim::make_payload<MVoteSig>(round_, step, v, sig));
+  }
+}
+
+void BinaryConsensus::maybe_certify_votes(sim::Context& ctx, std::int64_t round,
+                                          std::uint32_t step,
+                                          std::optional<bool> v) {
+  const crypto::Hash digest = vote_digest(instance_, round, step, v);
+  if (certified_.contains(digest)) return;
+  const int threshold = core::byz_quorum(ctx.n(), ctx.t());
+  if (vote_tally_.count(digest) < threshold) return;
+  auto cert = core::certify_verified(vote_tally_, ctx.keys(), digest, ctx.n(),
+                                     threshold);
+  if (!cert) return;
+  certified_.insert(digest);
+  ctx.broadcast(sim::make_payload<core::QuorumCertificatePayload>(
+      step == kStepPrevote ? kTagPrevoteCert : kTagPrecommitCert, round,
+      encode_vote(v), std::move(cert->voters), cert->agg));
+}
+
+void BinaryConsensus::on_vote_cert(sim::Context& ctx,
+                                   const core::QuorumCertificatePayload& qc) {
+  if (qc.tag != kTagPrevoteCert && qc.tag != kTagPrecommitCert) return;
+  std::optional<bool> decoded;
+  if (!decode_vote(qc.value, decoded)) return;
+  const std::uint32_t step =
+      qc.tag == kTagPrevoteCert ? kStepPrevote : kStepPrecommit;
+  // Recompute the digest the certified votes must have signed; the carried
+  // one is untrusted.
+  if (qc.agg.digest != vote_digest(instance_, qc.round, step, decoded)) {
+    return;
+  }
+  if (qc.voters.count() < core::byz_quorum(ctx.n(), ctx.t())) return;
+  if (!ctx.keys().verify_aggregate(qc.voters, qc.agg)) return;
+  RoundState& rs = rounds_[qc.round];
+  std::set<ProcessId>& votes = step == kStepPrevote ? rs.prevotes[decoded]
+                                                    : rs.precommits[decoded];
+  for (ProcessId p = 0; p < ctx.n(); ++p) {
+    if (qc.voters.test(p)) {
+      votes.insert(p);
+      rs.participants.insert(p);
+    }
+  }
+  poll(ctx);
 }
 
 void BinaryConsensus::on_timer(sim::Context& ctx, std::uint64_t tag) {
@@ -162,6 +269,28 @@ void BinaryConsensus::on_timer(sim::Context& ctx, std::uint64_t tag) {
 void BinaryConsensus::on_message(sim::Context& ctx, ProcessId from,
                                  const sim::PayloadPtr& m) {
   if (halted_) return;
+  if (cert_mode_ == core::CertMode::kAggregate) {
+    if (const auto* vote = dynamic_cast<const MVoteSig*>(m.get())) {
+      // Only the round's proposer tallies votes, and only votes whose
+      // signature is shaped right: signed by the network-level sender over
+      // exactly the digest the claimed (round, step, value) implies. The
+      // MAC itself is checked once, at certify time.
+      if (proposer_of(vote->round, ctx.n()) != ctx.id()) return;
+      if (vote->sig.signer != from) return;
+      if (vote->sig.digest !=
+          vote_digest(instance_, vote->round, vote->step, vote->value)) {
+        return;
+      }
+      vote_tally_.add(vote->sig);
+      maybe_certify_votes(ctx, vote->round, vote->step, vote->value);
+      return;
+    }
+    if (const auto* qc =
+            dynamic_cast<const core::QuorumCertificatePayload*>(m.get())) {
+      on_vote_cert(ctx, *qc);
+      return;
+    }
+  }
   if (const auto* done = dynamic_cast<const MDecided*>(m.get())) {
     decided_senders_[done->value ? 1 : 0].insert(from);
     poll(ctx);
@@ -184,6 +313,7 @@ void BinaryConsensus::on_message(sim::Context& ctx, ProcessId from,
     return;
   }
   if (const auto* prevote = dynamic_cast<const MPrevote*>(m.get())) {
+    if (cert_mode_ == core::CertMode::kAggregate) return;
     RoundState& rs = rounds_[prevote->round];
     rs.participants.insert(from);
     rs.prevotes[prevote->value].insert(from);
@@ -191,6 +321,7 @@ void BinaryConsensus::on_message(sim::Context& ctx, ProcessId from,
     return;
   }
   if (const auto* precommit = dynamic_cast<const MPrecommit*>(m.get())) {
+    if (cert_mode_ == core::CertMode::kAggregate) return;
     RoundState& rs = rounds_[precommit->round];
     rs.participants.insert(from);
     rs.precommits[precommit->value].insert(from);

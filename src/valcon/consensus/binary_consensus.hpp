@@ -21,6 +21,18 @@
 //     synchronized.
 //
 // See DESIGN.md §2 for the substitution rationale.
+//
+// CertMode::kAggregate batches the two vote rounds (core/quorum.hpp):
+// instead of broadcasting prevotes/precommits all-to-all, each process
+// sends one signed vote to the round's proposer, who certifies 2t+1
+// matching votes and broadcasts one QuorumCertificatePayload. Receivers
+// verify the aggregate once and bulk-insert the certified voters into the
+// same RoundState tallies the per-vote engine polls, so every decision
+// rule below is shared between the two backends. EST, proposals and the
+// DECIDED gadget stay broadcast in both modes. Sub-quorum rules (t+1
+// round skip, the early round end) fire less often from certificate-only
+// information; the round timers carry liveness exactly as they do when
+// votes are lost to the network.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +41,8 @@
 #include <optional>
 #include <set>
 
+#include "valcon/core/quorum.hpp"
+#include "valcon/crypto/hash.hpp"
 #include "valcon/sim/component.hpp"
 
 namespace valcon::consensus {
@@ -37,8 +51,15 @@ class BinaryConsensus final : public sim::Component {
  public:
   using DecideCb = std::function<void(sim::Context&, bool)>;
 
-  explicit BinaryConsensus(DecideCb on_decide)
-      : on_decide_(std::move(on_decide)) {}
+  /// `instance` names this consensus instance inside its deployment (the
+  /// vector-consensus slot index): aggregate-mode vote signatures bind it,
+  /// so a certificate from one instance cannot be replayed into another.
+  explicit BinaryConsensus(DecideCb on_decide,
+                           core::CertMode cert_mode = core::CertMode::kPerVote,
+                           int instance = 0)
+      : on_decide_(std::move(on_decide)),
+        cert_mode_(cert_mode),
+        instance_(instance) {}
 
   /// Proposes a bit. May arrive before or (well) after on_start; processes
   /// participate in rounds regardless, per Algorithm 3's late proposals
@@ -61,6 +82,14 @@ class BinaryConsensus final : public sim::Component {
   struct MPrevote;
   struct MPrecommit;
   struct MDecided;
+  struct MVoteSig;
+
+  // QC tags (protocol-local; this Mux child only sees its own traffic).
+  static constexpr std::uint32_t kTagPrevoteCert = 1;
+  static constexpr std::uint32_t kTagPrecommitCert = 2;
+  // Step codes bound into aggregate-mode vote digests.
+  static constexpr std::uint32_t kStepPrevote = 0;
+  static constexpr std::uint32_t kStepPrecommit = 1;
 
   struct RoundState {
     std::optional<std::pair<bool, std::int64_t>> proposal;  // (v, validRound)
@@ -87,11 +116,27 @@ class BinaryConsensus final : public sim::Component {
   void decide(sim::Context& ctx, bool v);
   void do_prevote(sim::Context& ctx, std::optional<bool> v);
   void do_precommit(sim::Context& ctx, std::optional<bool> v);
+  // Aggregate-mode helpers: send one signed vote to the round's proposer
+  // (or tally the own vote when we are the proposer), certify a quorum and
+  // broadcast the certificate, absorb a received certificate's voters into
+  // the RoundState tallies.
+  void send_vote(sim::Context& ctx, std::uint32_t step, std::optional<bool> v);
+  void maybe_certify_votes(sim::Context& ctx, std::int64_t round,
+                           std::uint32_t step, std::optional<bool> v);
+  void on_vote_cert(sim::Context& ctx,
+                    const core::QuorumCertificatePayload& qc);
   [[nodiscard]] double timeout(std::int64_t round, sim::Context& ctx) const {
     return (4.0 + static_cast<double>(round)) * ctx.delta();
   }
 
   DecideCb on_decide_;
+  core::CertMode cert_mode_;
+  int instance_;
+  // Aggregate-mode proposer state: the vote tally (digests bind instance,
+  // round, step and value, so one collector serves every round we lead)
+  // and the certificates already broadcast.
+  core::QuorumCollector vote_tally_;
+  std::set<crypto::Hash> certified_;
   bool started_ = false;
   std::optional<bool> input_;
   bool est_broadcast_ = false;

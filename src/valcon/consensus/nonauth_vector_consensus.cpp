@@ -25,7 +25,7 @@ Value decode_value(const std::vector<std::uint8_t>& bytes) {
 
 }  // namespace
 
-NonAuthVectorConsensus::NonAuthVectorConsensus(int n)
+NonAuthVectorConsensus::NonAuthVectorConsensus(int n, core::CertMode cert_mode)
     : n_(n),
       proposals_(static_cast<std::size_t>(n)),
       decisions_(static_cast<std::size_t>(n)),
@@ -38,13 +38,14 @@ NonAuthVectorConsensus::NonAuthVectorConsensus(int n)
         [this, j](sim::Context& cctx, const std::vector<std::uint8_t>& bytes) {
           on_brb_deliver(cctx, j, bytes);
         },
-        /*content_words=*/1));
+        /*content_words=*/1, cert_mode));
   }
   for (ProcessId j = 0; j < n; ++j) {
     binary_.push_back(&make_child<BinaryConsensus>(
         [this, j](sim::Context& cctx, bool value) {
           on_binary_decide(cctx, j, value);
-        }));
+        },
+        cert_mode, /*instance=*/j));
   }
 }
 

@@ -23,13 +23,17 @@
 #include "valcon/bcast/brb.hpp"
 #include "valcon/consensus/binary_consensus.hpp"
 #include "valcon/consensus/vector_consensus.hpp"
+#include "valcon/core/quorum.hpp"
 
 namespace valcon::consensus {
 
 class NonAuthVectorConsensus final : public VectorConsensus {
  public:
   /// Children must be sized at construction: pass the system size.
-  explicit NonAuthVectorConsensus(int n);
+  /// `cert_mode` selects the certificate backend for the vote-heavy child
+  /// rounds (BRB echoes, binary prevotes/precommits); see core/quorum.hpp.
+  explicit NonAuthVectorConsensus(
+      int n, core::CertMode cert_mode = core::CertMode::kPerVote);
 
  protected:
   void own_start(sim::Context& ctx) override;

@@ -6,13 +6,28 @@ namespace valcon::consensus {
 
 // ---------------------------------------------------------------- wire
 
+namespace {
+
+// Extra wire words an aggregate-backend QC costs over the single word the
+// threshold-signature backend pays (the voter bitset). Zero in per-vote
+// mode, keeping that mode's accounting — and the pinned sweeps — intact.
+std::size_t extra_qc_words(const QuorumCert& qc) {
+  return qc.aggregate ? qc.voters.words().size() : 0;
+}
+
+std::size_t extra_qc_words(const std::optional<QuorumCert>& qc) {
+  return qc.has_value() ? extra_qc_words(*qc) : 0;
+}
+
+}  // namespace
+
 struct Quad::MViewChange final : sim::Payload {
   MViewChange(std::int64_t v, std::optional<QuorumCert> qc_in,
               QuadProposalPtr value_in)
       : view(v), qc(std::move(qc_in)), value(std::move(value_in)) {}
   VALCON_PAYLOAD_TYPE("quad/view-change")
   [[nodiscard]] std::size_t size_words() const override {
-    return 2 + (value ? value->size_words() : 0);
+    return 2 + (value ? value->size_words() : 0) + extra_qc_words(qc);
   }
   std::int64_t view;
   std::optional<QuorumCert> qc;
@@ -25,7 +40,7 @@ struct Quad::MPropose final : sim::Payload {
       : view(v), value(std::move(value_in)), justify(std::move(justify_in)) {}
   VALCON_PAYLOAD_TYPE("quad/propose")
   [[nodiscard]] std::size_t size_words() const override {
-    return 2 + (value ? value->size_words() : 0);
+    return 2 + (value ? value->size_words() : 0) + extra_qc_words(justify);
   }
   std::int64_t view;
   QuadProposalPtr value;
@@ -47,7 +62,7 @@ struct Quad::MPrecommit final : sim::Payload {
       : view(v), value(std::move(value_in)), qc(std::move(qc_in)) {}
   VALCON_PAYLOAD_TYPE("quad/precommit")
   [[nodiscard]] std::size_t size_words() const override {
-    return 2 + (value ? value->size_words() : 0);
+    return 2 + (value ? value->size_words() : 0) + extra_qc_words(qc);
   }
   std::int64_t view;
   QuadProposalPtr value;
@@ -69,7 +84,7 @@ struct Quad::MDecide final : sim::Payload {
       : value(std::move(value_in)), qc(std::move(qc_in)) {}
   VALCON_PAYLOAD_TYPE("quad/decide")
   [[nodiscard]] std::size_t size_words() const override {
-    return 2 + (value ? value->size_words() : 0);
+    return 2 + (value ? value->size_words() : 0) + extra_qc_words(qc);
   }
   QuadProposalPtr value;
   QuorumCert qc;
@@ -109,40 +124,37 @@ crypto::Hash Quad::epoch_digest(std::int64_t epoch) const {
 
 namespace {
 
-/// Near-miss report for a QC just formed on `winner`: margin = winner's
-/// votes minus the strongest competing digest's votes in the same view and
-/// phase, conflicting = every vote a losing digest collected. An adversary
-/// that split the voters shows up as a small margin / nonzero conflict
-/// count (sim/metrics.hpp: NearMiss).
-template <typename VoteMap>
-void report_quorum(sim::Context& ctx, const VoteMap& votes,
+/// Near-miss report for a QC just formed on `winner` (sim/metrics.hpp:
+/// NearMiss); an adversary that split the voters shows up as a small
+/// margin / nonzero conflict count.
+void report_quorum(sim::Context& ctx, const core::QuorumCollector& votes,
                    const crypto::Hash& winner) {
-  std::size_t won = 0;
-  std::size_t strongest_rival = 0;
-  std::uint64_t conflicting = 0;
-  for (const auto& [digest, entry] : votes) {
-    const std::size_t count = entry.second.size();
-    if (digest == winner) {
-      won = count;
-    } else {
-      strongest_rival = std::max(strongest_rival, count);
-      conflicting += count;
-    }
+  const auto [margin, conflicting] = votes.rivalry(winner);
+  ctx.note_quorum(margin, conflicting);
+}
+
+/// Validates either QC representation against the expected phase digest.
+/// Both backends cost one signature check; the aggregate form additionally
+/// pins the quorum size, which the threshold scheme bakes into the key.
+bool valid_qc(sim::Context& ctx, const QuorumCert& qc,
+              const crypto::Hash& expected) {
+  if (qc.aggregate) {
+    return qc.agg.digest == expected &&
+           qc.voters.count() >=
+               core::quorum_n_minus_t(ctx.n(), ctx.t()) &&
+           ctx.keys().verify_aggregate(qc.voters, qc.agg);
   }
-  ctx.note_quorum(static_cast<int>(won) - static_cast<int>(strongest_rival),
-                  conflicting);
+  return qc.tsig.digest == expected && ctx.keys().verify(qc.tsig);
 }
 
 }  // namespace
 
 bool Quad::valid_prepare_qc(sim::Context& ctx, const QuorumCert& qc) const {
-  return qc.tsig.digest == phase_digest("prepare", qc.view, qc.value_digest) &&
-         ctx.keys().verify(qc.tsig);
+  return valid_qc(ctx, qc, phase_digest("prepare", qc.view, qc.value_digest));
 }
 
 bool Quad::valid_commit_qc(sim::Context& ctx, const QuorumCert& qc) const {
-  return qc.tsig.digest == phase_digest("commit", qc.view, qc.value_digest) &&
-         ctx.keys().verify(qc.tsig);
+  return valid_qc(ctx, qc, phase_digest("commit", qc.view, qc.value_digest));
 }
 
 // ------------------------------------------------------------ lifecycle
@@ -252,27 +264,34 @@ void Quad::maybe_form_prepare_qc(sim::Context& ctx) {
   if (cur_view_ < 0 || leader_of(cur_view_, n) != ctx.id()) return;
   ViewState& vs = view_state(cur_view_);
   if (vs.sent_precommit || !vs.proposed) return;
-  for (const auto& [digest, votes] : vs.prepare_votes) {
-    if (static_cast<int>(votes.second.size()) < core::quorum_n_minus_t(n, t)) {
-      continue;
-    }
-    const auto tsig = ctx.keys().combine(votes.first);
-    if (!tsig.has_value()) continue;
-    // Locate the proposed value matching the digest.
-    if (!vs.pending_propose || vs.pending_propose->value->digest() != digest) {
-      // The leader proposed it itself; reconstruct from own broadcast path.
-    }
-    QuadProposalPtr value;
-    if (vs.pending_propose && vs.pending_propose->value->digest() == digest) {
-      value = vs.pending_propose->value;
-    }
-    if (!value) continue;
-    vs.sent_precommit = true;
-    report_quorum(ctx, vs.prepare_votes, digest);
-    QuorumCert qc{cur_view_, digest, *tsig};
-    ctx.broadcast(sim::make_payload<MPrecommit>(cur_view_, value, qc));
-    return;
+  // The collector keys by the digest the votes sign — the phase digest —
+  // while only the leader's own pending proposal can ever certify, so the
+  // check is direct: count the votes on that proposal's phase digest.
+  if (!vs.pending_propose) return;
+  const QuadProposalPtr value = vs.pending_propose->value;
+  const crypto::Hash value_digest = value->digest();
+  const crypto::Hash digest =
+      phase_digest("prepare", cur_view_, value_digest);
+  const int quorum = core::quorum_n_minus_t(n, t);
+  if (vs.prepare_votes.count(digest) < quorum) return;
+  QuorumCert qc;
+  qc.view = cur_view_;
+  qc.value_digest = value_digest;
+  if (options_.cert_mode == core::CertMode::kAggregate) {
+    auto cert =
+        core::certify_verified(vs.prepare_votes, ctx.keys(), digest, n, quorum);
+    if (!cert) return;
+    qc.aggregate = true;
+    qc.voters = std::move(cert->voters);
+    qc.agg = cert->agg;
+  } else {
+    const auto tsig = ctx.keys().combine(vs.prepare_votes.partials(digest));
+    if (!tsig.has_value()) return;
+    qc.tsig = *tsig;
   }
+  vs.sent_precommit = true;
+  report_quorum(ctx, vs.prepare_votes, digest);
+  ctx.broadcast(sim::make_payload<MPrecommit>(cur_view_, value, qc));
 }
 
 void Quad::maybe_form_commit_qc(sim::Context& ctx) {
@@ -281,23 +300,30 @@ void Quad::maybe_form_commit_qc(sim::Context& ctx) {
   if (cur_view_ < 0 || leader_of(cur_view_, n) != ctx.id()) return;
   ViewState& vs = view_state(cur_view_);
   if (vs.sent_decide) return;
-  for (const auto& [digest, votes] : vs.commit_votes) {
-    if (static_cast<int>(votes.second.size()) < core::quorum_n_minus_t(n, t)) {
-      continue;
-    }
-    const auto tsig = ctx.keys().combine(votes.first);
-    if (!tsig.has_value()) continue;
-    QuadProposalPtr value;
-    if (vs.pending_propose && vs.pending_propose->value->digest() == digest) {
-      value = vs.pending_propose->value;
-    }
-    if (!value) continue;
-    vs.sent_decide = true;
-    report_quorum(ctx, vs.commit_votes, digest);
-    QuorumCert qc{cur_view_, digest, *tsig};
-    ctx.broadcast(sim::make_payload<MDecide>(value, qc));
-    return;
+  if (!vs.pending_propose) return;
+  const QuadProposalPtr value = vs.pending_propose->value;
+  const crypto::Hash value_digest = value->digest();
+  const crypto::Hash digest = phase_digest("commit", cur_view_, value_digest);
+  const int quorum = core::quorum_n_minus_t(n, t);
+  if (vs.commit_votes.count(digest) < quorum) return;
+  QuorumCert qc;
+  qc.view = cur_view_;
+  qc.value_digest = value_digest;
+  if (options_.cert_mode == core::CertMode::kAggregate) {
+    auto cert =
+        core::certify_verified(vs.commit_votes, ctx.keys(), digest, n, quorum);
+    if (!cert) return;
+    qc.aggregate = true;
+    qc.voters = std::move(cert->voters);
+    qc.agg = cert->agg;
+  } else {
+    const auto tsig = ctx.keys().combine(vs.commit_votes.partials(digest));
+    if (!tsig.has_value()) return;
+    qc.tsig = *tsig;
   }
+  vs.sent_decide = true;
+  report_quorum(ctx, vs.commit_votes, digest);
+  ctx.broadcast(sim::make_payload<MDecide>(value, qc));
 }
 
 // --------------------------------------------------------- replica side
@@ -378,12 +404,16 @@ void Quad::on_message(sim::Context& ctx, ProcessId from,
   if (const auto* vote = dynamic_cast<const MPrepareVote*>(m.get())) {
     const crypto::Hash expected =
         phase_digest("prepare", vote->view, vote->digest);
-    if (vote->partial.signer != from || vote->partial.digest != expected ||
+    if (vote->partial.signer != from || vote->partial.digest != expected) {
+      return;
+    }
+    // Aggregate mode defers the MAC check to the one verify_aggregate at
+    // certificate formation (speculative aggregation).
+    if (options_.cert_mode != core::CertMode::kAggregate &&
         !ctx.keys().verify(vote->partial)) {
       return;
     }
-    auto& [sigs, senders] = view_state(vote->view).prepare_votes[vote->digest];
-    if (senders.insert(from).second) sigs.push_back(vote->partial);
+    view_state(vote->view).prepare_votes.add(vote->partial);
     if (vote->view == cur_view_) maybe_form_prepare_qc(ctx);
     return;
   }
@@ -418,12 +448,14 @@ void Quad::on_message(sim::Context& ctx, ProcessId from,
   if (const auto* vote = dynamic_cast<const MCommitVote*>(m.get())) {
     const crypto::Hash expected =
         phase_digest("commit", vote->view, vote->digest);
-    if (vote->partial.signer != from || vote->partial.digest != expected ||
+    if (vote->partial.signer != from || vote->partial.digest != expected) {
+      return;
+    }
+    if (options_.cert_mode != core::CertMode::kAggregate &&
         !ctx.keys().verify(vote->partial)) {
       return;
     }
-    auto& [sigs, senders] = view_state(vote->view).commit_votes[vote->digest];
-    if (senders.insert(from).second) sigs.push_back(vote->partial);
+    view_state(vote->view).commit_votes.add(vote->partial);
     if (vote->view == cur_view_) maybe_form_commit_qc(ctx);
     return;
   }

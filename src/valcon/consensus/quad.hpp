@@ -39,6 +39,7 @@
 #include <utility>
 #include <vector>
 
+#include "valcon/core/quorum.hpp"
 #include "valcon/crypto/signatures.hpp"
 #include "valcon/sim/component.hpp"
 
@@ -60,11 +61,19 @@ using QuadProposalPtr = std::shared_ptr<const QuadProposal>;
 using QuadVerifier =
     std::function<bool(sim::Context&, const QuadProposal&)>;
 
-/// A threshold-signed quorum certificate over (phase, view, value digest).
+/// A quorum certificate over (phase, view, value digest), in one of two
+/// backend representations: a combined threshold signature (per-vote mode)
+/// or a voter bitset plus one aggregate signature (aggregate mode, set
+/// `aggregate`). Validators accept either form — which form honest
+/// processes emit is QuadOptions::cert_mode — and both cost one signature
+/// check to verify.
 struct QuorumCert {
   std::int64_t view = -1;
   crypto::Hash value_digest;
   crypto::ThresholdSignature tsig;
+  bool aggregate = false;
+  crypto::VoterBitset voters;
+  crypto::AggregateSignature agg;
 };
 
 /// Tunable knobs for Quad (ablations in bench E5).
@@ -75,6 +84,13 @@ struct QuadOptions {
   double propose_delay_deltas = 2.0;
   /// Echo DECIDE to all once upon deciding (totality under leader crash).
   bool decide_echo = true;
+  /// Certificate backend. In aggregate mode the leader skips per-vote
+  /// verification on receipt and pays one verify_aggregate when it forms
+  /// the certificate (speculative aggregation) — ~1 check per quorum where
+  /// per-vote mode pays n-t. Epoch certificates stay threshold-signed in
+  /// both modes: they certify one fixed digest per epoch, so aggregation
+  /// has nothing to batch.
+  core::CertMode cert_mode = core::CertMode::kPerVote;
 };
 
 class Quad final : public sim::Component {
@@ -114,12 +130,8 @@ class Quad final : public sim::Component {
     std::vector<std::pair<std::optional<QuorumCert>, QuadProposalPtr>>
         view_changes;
     std::set<ProcessId> view_change_senders;
-    std::map<crypto::Hash,
-             std::pair<std::vector<crypto::Signature>, std::set<ProcessId>>>
-        prepare_votes;
-    std::map<crypto::Hash,
-             std::pair<std::vector<crypto::Signature>, std::set<ProcessId>>>
-        commit_votes;
+    core::QuorumCollector prepare_votes;
+    core::QuorumCollector commit_votes;
     bool proposed = false;
     bool propose_timer_fired = false;
     bool sent_precommit = false;

@@ -1,5 +1,7 @@
 #include "valcon/crypto/signatures.hpp"
 
+#include <bit>
+#include <stdexcept>
 #include <unordered_set>
 
 namespace valcon::crypto {
@@ -13,6 +15,53 @@ std::uint64_t truncate(const Hash& h) {
 }
 
 }  // namespace
+
+VoterBitset::VoterBitset(int n) : n_(n) {
+  if (n < 1) throw std::invalid_argument("VoterBitset: need n >= 1");
+  words_.assign((static_cast<std::size_t>(n) + 63) / 64, 0);
+}
+
+void VoterBitset::set(ProcessId id) {
+  if (id < 0 || id >= n_) {
+    throw std::out_of_range("VoterBitset::set: id outside [0, n)");
+  }
+  words_[static_cast<std::size_t>(id) / 64] |=
+      std::uint64_t{1} << (static_cast<std::size_t>(id) % 64);
+}
+
+bool VoterBitset::test(ProcessId id) const {
+  if (id < 0 || id >= n_) return false;
+  return (words_[static_cast<std::size_t>(id) / 64] >>
+          (static_cast<std::size_t>(id) % 64)) &
+         1;
+}
+
+int VoterBitset::count() const {
+  int total = 0;
+  for (const std::uint64_t word : words_) {
+    total += std::popcount(word);
+  }
+  return total;
+}
+
+std::optional<AggregateSignature> aggregate(
+    const std::vector<Signature>& partials) {
+  if (partials.empty()) return std::nullopt;
+  const Hash& digest = partials.front().digest;
+  std::unordered_set<ProcessId> seen;
+  std::uint64_t sum = 0;
+  for (const Signature& partial : partials) {
+    if (partial.digest != digest) return std::nullopt;
+    if (!seen.insert(partial.signer).second) return std::nullopt;
+    sum += partial.mac;  // mod 2^64 by unsigned wraparound
+  }
+  return AggregateSignature{digest, sum};
+}
+
+VerifyCounters& verify_counters() {
+  thread_local VerifyCounters counters;
+  return counters;
+}
 
 KeyRegistry::KeyRegistry(int n, int k, std::uint64_t seed)
     : n_(n), k_(k), seed_(seed) {
@@ -41,6 +90,7 @@ std::uint64_t KeyRegistry::threshold_mac(const Hash& digest) const {
 }
 
 bool KeyRegistry::verify(const Signature& sig) const {
+  ++verify_counters().signature;
   if (sig.signer < 0 || sig.signer >= n_) return false;
   return sig.mac == mac_for(sig.signer, sig.digest);
 }
@@ -60,7 +110,23 @@ std::optional<ThresholdSignature> KeyRegistry::combine(
 }
 
 bool KeyRegistry::verify(const ThresholdSignature& tsig) const {
+  ++verify_counters().threshold;
   return tsig.mac == threshold_mac(tsig.digest);
+}
+
+bool KeyRegistry::verify_aggregate(const VoterBitset& voters,
+                                   const AggregateSignature& agg) const {
+  ++verify_counters().aggregate;
+  if (voters.capacity() != n_) return false;
+  std::uint64_t expected = 0;
+  int set_bits = 0;
+  for (ProcessId id = 0; id < n_; ++id) {
+    if (!voters.test(id)) continue;
+    expected += mac_for(id, agg.digest);  // mod 2^64, mirroring aggregate()
+    ++set_bits;
+  }
+  if (set_bits == 0) return false;
+  return agg.mac == expected;
 }
 
 Signer KeyRegistry::signer_for(ProcessId id) const {

@@ -8,6 +8,7 @@
 //
 //   sig(i, d)   = SHA256(secret_i || d)            -- per-process secret
 //   tsig(d)     = SHA256(root_secret || k || d)    -- emitted only by combine()
+//   agg(S, d)   = sum over i in S of sig(i, d)  (mod 2^64)
 //
 // Secrets never leave the registry; processes interact through a Signer
 // handle bound to their own identity, so a Byzantine process implemented in
@@ -15,8 +16,19 @@
 // refuses to emit a threshold signature unless presented with k valid partial
 // signatures from k distinct signers, mirroring the real scheme's guarantee.
 //
+// The aggregatable scheme (VoterBitset + AggregateSignature) is the second
+// backend: aggregate() folds any set of same-digest partials into one
+// 64-bit aggregate MAC by modular addition — a pure function of the
+// partials, mirroring BLS aggregation — and verify_aggregate() recomputes
+// the expected sum over exactly the processes named by the bitset, so an
+// inflated bitset or a tampered aggregate fails with one check instead of
+// one check per vote. Quorum-certificate payloads (core/quorum.hpp) carry
+// a (bitset, aggregate) pair where the per-vote scheme would carry a
+// vector of Signatures.
+//
 // Both Signature and ThresholdSignature count as one "word" in communication
-// accounting, matching the paper's convention (footnote 4).
+// accounting, matching the paper's convention (footnote 4); an
+// AggregateSignature is one word plus the bitset's ceil(n/64) words.
 #pragma once
 
 #include <cstdint>
@@ -44,6 +56,77 @@ struct ThresholdSignature {
 
   bool operator==(const ThresholdSignature&) const = default;
 };
+
+/// Dense voter set for aggregate verification: bit i is process i, packed
+/// into ceil(n/64) uint64 words. The capacity n travels with the bitset so
+/// a verifier can reject a certificate whose voter universe does not match
+/// its registry (a truncated or widened bitset is a forgery, not a format
+/// variant).
+class VoterBitset {
+ public:
+  VoterBitset() = default;
+  /// Bitset over voter ids [0, n). Throws std::invalid_argument for n < 1.
+  explicit VoterBitset(int n);
+
+  /// The voter universe size the bitset was built for (0 when default-made).
+  [[nodiscard]] int capacity() const { return n_; }
+
+  /// Sets bit `id`. Throws std::out_of_range outside [0, capacity()).
+  void set(ProcessId id);
+
+  /// Tests bit `id`; ids outside [0, capacity()) read as false.
+  [[nodiscard]] bool test(ProcessId id) const;
+
+  /// Number of set bits.
+  [[nodiscard]] int count() const;
+
+  /// The packed words, for wire-size accounting (one word each).
+  [[nodiscard]] const std::vector<std::uint64_t>& words() const {
+    return words_;
+  }
+
+  bool operator==(const VoterBitset&) const = default;
+
+ private:
+  int n_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// One aggregated signature over `digest` by the processes named in a
+/// companion VoterBitset. Valid only as a (bitset, aggregate) pair.
+struct AggregateSignature {
+  Hash digest;
+  std::uint64_t mac = 0;
+
+  bool operator==(const AggregateSignature&) const = default;
+};
+
+/// Folds partial signatures over one digest into an aggregate. Returns
+/// nullopt for an empty input, mixed digests, or a duplicate signer —
+/// aggregation never repairs a malformed vote set. The partials are NOT
+/// verified here (aggregation is key-free, like BLS point addition);
+/// soundness comes from verify_aggregate recomputing the sum under the
+/// registry's keys.
+[[nodiscard]] std::optional<AggregateSignature> aggregate(
+    const std::vector<Signature>& partials);
+
+/// Per-thread tally of signature checks, the unit the sweep bench reports
+/// as verifies_per_decision. Every KeyRegistry verify path bumps exactly
+/// one counter; run_universal snapshots the thread's counters around a run
+/// (each sweep cell runs on one thread), so the delta is a deterministic
+/// function of (configuration, seed) at any job count.
+struct VerifyCounters {
+  std::uint64_t signature = 0;
+  std::uint64_t threshold = 0;
+  std::uint64_t aggregate = 0;
+
+  [[nodiscard]] std::uint64_t total() const {
+    return signature + threshold + aggregate;
+  }
+};
+
+/// The calling thread's verify tally (monotone; consumers take deltas).
+[[nodiscard]] VerifyCounters& verify_counters();
 
 class Signer;
 
@@ -74,6 +157,15 @@ class KeyRegistry {
 
   /// Verifies a combined threshold signature.
   [[nodiscard]] bool verify(const ThresholdSignature& tsig) const;
+
+  /// Verifies an aggregate signature against exactly the voter set named by
+  /// `voters`: recomputes the expected MAC sum over the set bits and
+  /// compares once. False when the bitset's capacity is not this registry's
+  /// n (mismatched voter universe), when the bitset is empty, or when the
+  /// sum differs (inflated bitset, dropped voter, tampered aggregate).
+  /// Thresholds are the caller's contract — see core::QuorumCollector.
+  [[nodiscard]] bool verify_aggregate(const VoterBitset& voters,
+                                      const AggregateSignature& agg) const;
 
   /// Returns the signer handle for process `id`. The handle only signs with
   /// `id`'s key: this is the structural unforgeability boundary.

@@ -45,16 +45,30 @@ std::optional<Value> RunResult::common_decision() const {
   return decisions.begin()->second;
 }
 
+double RunResult::messages_per_decision() const {
+  if (decisions.empty()) return 0.0;
+  return static_cast<double>(messages_total) /
+         static_cast<double>(decisions.size());
+}
+
+double RunResult::verifies_per_decision() const {
+  if (decisions.empty()) return 0.0;
+  return static_cast<double>(verifies_total) /
+         static_cast<double>(decisions.size());
+}
+
 namespace {
 
 std::unique_ptr<consensus::VectorConsensus> make_vc(const ScenarioConfig& cfg) {
   consensus::QuadOptions quad_options;
   quad_options.decide_echo = cfg.quad_decide_echo;
+  quad_options.cert_mode = cfg.cert_mode;
   switch (cfg.vc) {
     case VcKind::kAuthenticated:
       return std::make_unique<consensus::AuthVectorConsensus>(quad_options);
     case VcKind::kNonAuthenticated:
-      return std::make_unique<consensus::NonAuthVectorConsensus>(cfg.n);
+      return std::make_unique<consensus::NonAuthVectorConsensus>(cfg.n,
+                                                                cfg.cert_mode);
     case VcKind::kFast:
       return std::make_unique<consensus::FastVectorConsensus>(quad_options);
   }
@@ -218,6 +232,9 @@ RunResult run_universal(const ScenarioConfig& cfg,
   Time cutoff = cfg.horizon;
   bool grace_armed = false;
   std::uint64_t events = 0;
+  // The whole event loop runs on this thread, so the thread-local verify
+  // tally's delta is exactly this run's signature checks.
+  const std::uint64_t verifies_before = crypto::verify_counters().total();
   while (simulator.step(cutoff)) {
     ++events;
     if (!grace_armed && *correct_decided == n_correct) {
@@ -227,6 +244,7 @@ RunResult run_universal(const ScenarioConfig& cfg,
     }
   }
   result->events = events;
+  result->verifies_total = crypto::verify_counters().total() - verifies_before;
   result->queue_drained = simulator.idle();
   result->end_time = simulator.now();
   result->grace_cutoff = grace_armed ? cutoff : -1.0;

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "valcon/core/quorum.hpp"
 #include "valcon/core/universal.hpp"
 #include "valcon/harness/net_profile.hpp"
 #include "valcon/sim/simulator.hpp"
@@ -61,6 +62,15 @@ enum class VcKind {
 ///                            deliveries reaches `observe`, then every
 ///                            member simultaneously stops sending to the
 ///                            `victims` lowest-id correct processes
+///   "forge-qc"             — correct stack that, whenever it observes a
+///                            genuine quorum certificate, also broadcasts
+///                            forged variants (inflated voter bitset,
+///                            tampered aggregate); honest processes must
+///                            reject every forgery, so the run should be
+///                            indistinguishable from the fault-free one.
+///                            Only bites under cert_mode=aggregate — in
+///                            per-vote mode no QCs flow and the stack is
+///                            simply correct
 ///
 /// Unused parameters are ignored by a strategy; custom strategies may reuse
 /// any of them.
@@ -131,6 +141,11 @@ struct Fault {
     f.observe = observe;
     return f;
   }
+  [[nodiscard]] static Fault forge_qc() {
+    Fault f;
+    f.strategy = "forge-qc";
+    return f;
+  }
 };
 
 struct ScenarioConfig {
@@ -160,6 +175,10 @@ struct ScenarioConfig {
   double grace_multiplier = 10.0;
   /// Ablation (bench E5): disable Quad's decide-echo wave.
   bool quad_decide_echo = true;
+  /// Certificate backend for the vote-heavy protocol paths (core/quorum.hpp).
+  /// The default keeps every pinned sweep output byte-identical; aggregate
+  /// mode batches votes into quorum certificates.
+  core::CertMode cert_mode = core::CertMode::kPerVote;
 };
 
 struct RunResult {
@@ -202,9 +221,20 @@ struct RunResult {
   /// still in flight when the run was cut.
   Time grace_cutoff = -1.0;
 
+  /// Signature checks the run performed (individual + threshold +
+  /// aggregate), taken as the delta of crypto::verify_counters() around the
+  /// event loop. Each run executes on one thread, so the tally is a
+  /// deterministic function of (configuration, seed) at any job count.
+  std::uint64_t verifies_total = 0;
+
   [[nodiscard]] bool all_correct_decided(const ScenarioConfig& cfg) const;
   [[nodiscard]] bool agreement() const;
   [[nodiscard]] std::optional<Value> common_decision() const;
+
+  // Per-decision normalizations for the sweep bench (BENCH_9.json):
+  // totals divided by recorded decisions; 0 when nothing decided.
+  [[nodiscard]] double messages_per_decision() const;
+  [[nodiscard]] double verifies_per_decision() const;
 };
 
 /// Returns the process-wide shared crypto::KeyRegistry for (n, threshold_k,

@@ -84,7 +84,7 @@ bool Candidate::operator==(const Candidate& other) const {
          n == other.n && t == other.t && gst == other.gst &&
          delta == other.delta && domain == other.domain &&
          victims == other.victims && observe == other.observe &&
-         seed == other.seed;
+         cert == other.cert && seed == other.seed;
 }
 
 std::string Candidate::key() const {
@@ -93,7 +93,13 @@ std::string Candidate::key() const {
      << validity_token(validity) << '/' << pattern << '/' << net_profile
      << '/' << n << '/' << t << '/' << io::json_number(gst) << '/'
      << io::json_number(delta) << '/' << domain << '/' << victims << '/'
-     << observe << '/' << seed;
+     << observe << '/';
+  // Wire-gated like the cell JSON: per-vote (the historical only value)
+  // stays absent, so legacy keys are unchanged.
+  if (cert != core::CertMode::kPerVote) {
+    os << core::cert_mode_token(cert) << '/';
+  }
+  os << seed;
   return os.str();
 }
 
@@ -118,6 +124,7 @@ SweepPoint candidate_point(const Candidate& c) {
       .gsts({c.gst})
       .deltas({c.delta})
       .seeds({c.seed})
+      .cert_modes({c.cert})
       .proposal_domain(c.domain)
       .record_near_miss(true)
       // Bounded liveness cutoff: a non-terminating candidate (the search's
@@ -184,6 +191,7 @@ Candidate sample(sim::Rng& rng, const SearchSpace& space) {
   c.delta = pick(rng, space.deltas);
   c.domain = pick(rng, space.domains);
   c.fault_count = -1;  // all t faulty; shrinking minimizes later
+  c.cert = pick(rng, space.cert_modes);
   c.seed = sample_seed(rng);
   return c;
 }
@@ -195,7 +203,7 @@ Candidate mutate(sim::Rng& rng, const SearchSpace& space, Candidate c) {
   static const std::vector<int> kObserve{-1, 1, 4, 8, 16, 32};
   const int tweaks = 1 + static_cast<int>(rng.next_below(2));
   for (int i = 0; i < tweaks; ++i) {
-    switch (rng.next_below(12)) {
+    switch (rng.next_below(13)) {
       case 0: c.strategy = pick(rng, space.strategies); break;
       case 1: c.vc = pick(rng, space.vcs); break;
       case 2: c.validity = pick(rng, space.validities); break;
@@ -221,6 +229,7 @@ Candidate mutate(sim::Rng& rng, const SearchSpace& space, Candidate c) {
         c.victims = pick(rng, kVictims);
         c.observe = pick(rng, kObserve);
         break;
+      case 11: c.cert = pick(rng, space.cert_modes); break;
       default: c.seed = sample_seed(rng); break;
     }
   }
@@ -245,6 +254,7 @@ void check_options(const SearchOptions& options) {
   require_nonempty(!s.gsts.empty(), "gst");
   require_nonempty(!s.deltas.empty(), "delta");
   require_nonempty(!s.domains.empty(), "domain");
+  require_nonempty(!s.cert_modes.empty(), "cert-mode");
   if (options.budget <= 0) {
     throw std::invalid_argument("search budget must be positive");
   }
@@ -391,6 +401,16 @@ Counterexample shrink(const Candidate& c, Verdict verdict,
         changed = true;
       }
     }
+    // The per-vote backend is the simpler cell: a violation that survives
+    // without aggregation is not about the QC layer at all.
+    if (cur.cert != core::CertMode::kPerVote) {
+      Candidate next = cur;
+      next.cert = core::CertMode::kPerVote;
+      if (reproduces(next)) {
+        cur = next;
+        changed = true;
+      }
+    }
   }
   // Seed re-derivation: the smallest seed in [1, seed_tries] below the
   // found one that still reproduces. Ascending order + first-accept keeps
@@ -527,8 +547,13 @@ void candidate_fields(std::ostream& os, const Candidate& c) {
      << "\"delta\": " << io::json_number(c.delta) << ", "
      << "\"domain\": " << c.domain << ", "
      << "\"victims\": " << c.victims << ", "
-     << "\"observe\": " << c.observe << ", "
-     << "\"seed\": " << c.seed;
+     << "\"observe\": " << c.observe << ", ";
+  // Wire-gated (same convention as the sweep axes): the per-vote default
+  // is absent, so every legacy corpus cell keeps its exact bytes.
+  if (c.cert != core::CertMode::kPerVote) {
+    os << "\"cert_mode\": \"" << core::cert_mode_token(c.cert) << "\", ";
+  }
+  os << "\"seed\": " << c.seed;
 }
 
 void cell_object(std::ostream& os, const Counterexample& cx) {
@@ -623,6 +648,14 @@ CorpusCell parse_cell(const std::string& json) {
   c.domain = int_field(json, "domain");
   c.victims = int_field(json, "victims");
   c.observe = int_field(json, "observe");
+  // Absent on legacy cells (strictness exception: absence IS the per-vote
+  // default under the wire gate, not a malformed cell).
+  if (json.find("\"cert_mode\": \"") != std::string::npos) {
+    const auto cert = core::cert_mode_from_token(string_field(json,
+                                                              "cert_mode"));
+    if (!cert.has_value()) bad_cell("unknown cert_mode token");
+    c.cert = *cert;
+  }
   const double seed = number_field(json, "seed");
   if (seed < 0 || static_cast<double>(static_cast<std::uint64_t>(seed)) !=
                       seed) {
@@ -639,7 +672,11 @@ std::string cell_filename(const Counterexample& cx) {
   const Candidate& c = cx.candidate;
   std::ostringstream os;
   os << verdict_token(cx.verdict) << "-" << vc_token(c.vc) << "-"
-     << c.strategy << "-n" << c.n << "t" << c.t << "-s" << c.seed << ".json";
+     << c.strategy;
+  if (c.cert != core::CertMode::kPerVote) {
+    os << "-" << core::cert_mode_token(c.cert);
+  }
+  os << "-n" << c.n << "t" << c.t << "-s" << c.seed << ".json";
   return os.str();
 }
 

@@ -86,6 +86,11 @@ struct Candidate {
   Value domain = 3;
   int victims = -1;  // adaptive / collude-withhold; -1 = Fault default
   int observe = -1;  // adaptive / collude-withhold; -1 = Fault default
+  /// Certificate backend (core/quorum.hpp). Follows the wire-gating
+  /// convention of the sweep axes: the per-vote default is absent from
+  /// key(), the cell JSON and the cell file name, so every legacy corpus
+  /// cell keeps its exact bytes and identity.
+  core::CertMode cert = core::CertMode::kPerVote;
   std::uint64_t seed = 1;
 
   [[nodiscard]] bool operator==(const Candidate& other) const;
@@ -116,7 +121,8 @@ struct SearchSpace {
   std::vector<std::string> strategies{
       "silent",       "crash",           "equivocate",
       "delay",        "mutate",          "equivocate-scheduled",
-      "adaptive",     "collude-equivocate", "collude-withhold"};
+      "adaptive",     "collude-equivocate", "collude-withhold",
+      "forge-qc"};
   std::vector<VcKind> vcs{VcKind::kAuthenticated, VcKind::kNonAuthenticated,
                           VcKind::kFast};
   std::vector<ValidityKind> validities{ValidityKind::kStrong};
@@ -128,6 +134,11 @@ struct SearchSpace {
   std::vector<Time> gsts{0.0, 5.0, 30.0};
   std::vector<Time> deltas{1.0};
   std::vector<Value> domains{3};
+  /// Certificate backends. The per-vote default keeps the historical
+  /// search byte-identical; `valcon_search --cert-modes
+  /// per-vote,aggregate` widens the pool so forge-qc (inert per-vote) has
+  /// QCs to forge.
+  std::vector<core::CertMode> cert_modes{core::CertMode::kPerVote};
 };
 
 struct SearchOptions {

@@ -1,9 +1,12 @@
 #include "valcon/harness/strategy.hpp"
 
+#include <set>
 #include <stdexcept>
 #include <utility>
 
+#include "valcon/core/quorum.hpp"
 #include "valcon/sim/adversary.hpp"
+#include "valcon/sim/component.hpp"
 
 namespace valcon::harness {
 
@@ -235,6 +238,96 @@ class ColludeWithholdStrategy final : public Strategy {
   }
 };
 
+/// Shim for "forge-qc": a full correct inner stack, plus a forgery reflex —
+/// every genuine QuorumCertificatePayload it observes inbound (unwrapped
+/// through the MuxMsg nesting chain, then re-wrapped in the same chain so
+/// the forgeries route to the same protocol layer at every receiver) is
+/// answered with two forged broadcast variants: one with an inflated voter
+/// bitset (a voter the aggregate does not cover) and one with a tampered
+/// aggregate MAC over the genuine voter set. One forgery pair per distinct
+/// certificate digest keeps the extra traffic bounded; the self-delivered
+/// forgeries re-enter maybe_forge with an already-seen digest, so the
+/// reflex can never feed itself. Honest receivers recompute the expected
+/// digest and pay one verify_aggregate, so every forgery must be rejected
+/// — a run with this fault must be indistinguishable (decisions,
+/// agreement, validity) from the corresponding fault-free run.
+class ForgeQcShim final : public sim::Process {
+ public:
+  explicit ForgeQcShim(std::unique_ptr<sim::Process> inner)
+      : inner_(std::move(inner)) {}
+
+  void on_start(sim::Context& ctx) override { inner_->on_start(ctx); }
+  void on_message(sim::Context& ctx, ProcessId from,
+                  const sim::PayloadPtr& m) override {
+    maybe_forge(ctx, m);
+    inner_->on_message(ctx, from, m);
+  }
+  void on_timer(sim::Context& ctx, std::uint64_t tag) override {
+    inner_->on_timer(ctx, tag);
+  }
+
+ private:
+  /// Re-wraps a forged leaf in the observed MuxMsg chain, outermost first.
+  [[nodiscard]] static sim::PayloadPtr rewrap(
+      const std::vector<std::uint32_t>& chain, sim::PayloadPtr forged) {
+    for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+      forged = sim::make_payload<sim::MuxMsg>(*it, std::move(forged));
+    }
+    return forged;
+  }
+
+  void maybe_forge(sim::Context& ctx, const sim::PayloadPtr& m) {
+    std::vector<std::uint32_t> chain;
+    const sim::Payload* leaf = m.get();
+    while (leaf->mux_child() != sim::Payload::kNotWrapped) {
+      // Only MuxMsg answers the routing hook (see Payload::mux_child).
+      const auto* mux = static_cast<const sim::MuxMsg*>(leaf);
+      chain.push_back(mux->child);
+      leaf = mux->inner.get();
+    }
+    const auto* qc =
+        dynamic_cast<const core::QuorumCertificatePayload*>(leaf);
+    if (qc == nullptr) return;
+    if (!forged_.insert(qc->agg.digest).second) return;
+    // Variant 1: inflated bitset — claim the lowest non-voter as a voter.
+    // (A full bitset has no non-voter to add; the variant would be the
+    // genuine certificate, so it is skipped.)
+    crypto::VoterBitset inflated = qc->voters;
+    for (ProcessId p = 0; p < inflated.capacity(); ++p) {
+      if (!inflated.test(p)) {
+        inflated.set(p);
+        ctx.broadcast(rewrap(
+            chain, sim::make_payload<core::QuorumCertificatePayload>(
+                       qc->tag, qc->round, qc->value, std::move(inflated),
+                       qc->agg, qc->body)));
+        break;
+      }
+    }
+    // Variant 2: tampered aggregate MAC over the genuine voter set.
+    crypto::AggregateSignature tampered = qc->agg;
+    tampered.mac += 1;
+    ctx.broadcast(rewrap(chain,
+                         sim::make_payload<core::QuorumCertificatePayload>(
+                             qc->tag, qc->round, qc->value, qc->voters,
+                             tampered, qc->body)));
+  }
+
+  std::unique_ptr<sim::Process> inner_;
+  std::set<crypto::Hash> forged_;
+};
+
+/// "forge-qc" — correct stack plus the QC forgery reflex above. Only bites
+/// under cert_mode=aggregate: in per-vote mode no quorum certificates flow
+/// and the stack is simply correct, so the strategy is safe to keep in the
+/// default (sound-regime) search pool.
+class ForgeQcStrategy final : public Strategy {
+ public:
+  std::unique_ptr<sim::Process> build(const StrategyEnv& env) const override {
+    return std::make_unique<ForgeQcShim>(
+        env.recorded_stack(env.own_proposal()));
+  }
+};
+
 template <typename T>
 void add_builtin(StrategyRegistry& registry, const std::string& name) {
   registry.add(name, [] { return std::make_unique<T>(); });
@@ -254,6 +347,7 @@ StrategyRegistry& StrategyRegistry::global() {
     add_builtin<AdaptiveStrategy>(*r, "adaptive");
     add_builtin<ColludeEquivocateStrategy>(*r, "collude-equivocate");
     add_builtin<ColludeWithholdStrategy>(*r, "collude-withhold");
+    add_builtin<ForgeQcStrategy>(*r, "forge-qc");
     return r;
   }();
   return *registry;

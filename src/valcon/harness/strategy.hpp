@@ -125,8 +125,8 @@ class Strategy {
 /// String-keyed factory registry. The global() instance starts with the
 /// built-in strategies ("silent", "crash", "equivocate", "delay", "mutate",
 /// "equivocate-scheduled", "adaptive", "collude-equivocate",
-/// "collude-withhold") registered; libraries and tests add their own with
-/// add(). Lookups are thread-safe (sweep workers resolve strategies
+/// "collude-withhold", "forge-qc") registered; libraries and tests add
+/// their own with add(). Lookups are thread-safe (sweep workers resolve strategies
 /// concurrently).
 class StrategyRegistry {
  public:

@@ -138,6 +138,40 @@ ScenarioMatrix& ScenarioMatrix::keep_network_profiles(
   net_profiles_ = filter_axis(net_profiles_, keep, "network profile");
   return *this;
 }
+ScenarioMatrix& ScenarioMatrix::cert_modes(std::vector<core::CertMode> modes) {
+  cert_modes_ = std::move(modes);
+  return *this;
+}
+ScenarioMatrix& ScenarioMatrix::keep_cert_modes(
+    const std::vector<std::string>& keep) {
+  if (keep.empty()) {
+    throw std::invalid_argument("empty cert-mode filter");
+  }
+  std::vector<core::CertMode> wanted;
+  for (const std::string& name : keep) {
+    const auto mode = core::cert_mode_from_token(name);
+    if (!mode.has_value()) {
+      throw std::invalid_argument("unknown cert mode '" + name +
+                                  "' (expected: per-vote, aggregate)");
+    }
+    wanted.push_back(*mode);
+  }
+  std::vector<core::CertMode> kept;
+  for (const core::CertMode mode : cert_modes_) {
+    if (std::find(wanted.begin(), wanted.end(), mode) != wanted.end()) {
+      kept.push_back(mode);
+    }
+  }
+  for (const core::CertMode mode : wanted) {
+    if (std::find(kept.begin(), kept.end(), mode) == kept.end()) {
+      throw std::invalid_argument(
+          "cert mode '" + core::cert_mode_token(mode) +
+          "' matches no cert-mode dimension value of this matrix");
+    }
+  }
+  cert_modes_ = std::move(kept);
+  return *this;
+}
 ScenarioMatrix& ScenarioMatrix::gsts(std::vector<Time> v) {
   gsts_ = std::move(v);
   return *this;
@@ -173,7 +207,7 @@ ScenarioMatrix& ScenarioMatrix::horizon(Time cap) {
 std::size_t ScenarioMatrix::size() const {
   return vcs_.size() * validities_.size() * patterns_.size() *
          faults_.size() * sizes_.size() * net_profiles_.size() *
-         gsts_.size() * deltas_.size() * seeds_.size();
+         gsts_.size() * deltas_.size() * seeds_.size() * cert_modes_.size();
 }
 
 void ScenarioMatrix::check_dimensions() const {
@@ -216,16 +250,18 @@ SweepPoint ScenarioMatrix::point_at(std::size_t index) const {
   }
   // Mixed-radix decode, least-significant (fastest-varying) digit first:
   // the dimension nesting is vc > validity > pattern > fault > size >
-  // net-profile > gst > delta > seed, so the seed digit is peeled first.
-  // This is the one source of truth for the index ↔ cell mapping; build()
-  // just replays it. (The two new axes decode as radix-1 digits on legacy
-  // matrices, so their indices — and bytes — are untouched.)
+  // net-profile > gst > delta > seed > cert-mode, so the cert-mode digit
+  // is peeled first. This is the one source of truth for the index ↔ cell
+  // mapping; build() just replays it. (The three new axes decode as
+  // radix-1 digits on legacy matrices, so their indices — and bytes — are
+  // untouched.)
   std::size_t rem = index;
   const auto digit = [&rem](std::size_t radix) {
     const std::size_t d = rem % radix;
     rem /= radix;
     return d;
   };
+  const core::CertMode cert_mode = cert_modes_[digit(cert_modes_.size())];
   const std::uint64_t seed = seeds_[digit(seeds_.size())];
   const Time delta = deltas_[digit(deltas_.size())];
   const Time gst = gsts_[digit(gsts_.size())];
@@ -244,6 +280,7 @@ SweepPoint ScenarioMatrix::point_at(std::size_t index) const {
   cfg.seed = seed;
   cfg.vc = vc;
   cfg.horizon = horizon_;
+  cfg.cert_mode = cert_mode;
   cfg.net_profile = named_network_profile(profile_name);
   const PatternEnv penv{n, t, seed, domain_, validity};
   cfg.proposals = PatternRegistry::global().make(pattern_name)->assign(penv);
@@ -300,6 +337,11 @@ SweepPoint ScenarioMatrix::point_at(std::size_t index) const {
   if (!(net_profiles_.size() == 1 && net_profiles_[0] == "uniform")) {
     point.net_profile_tag = profile_name;
     point.label += " net=" + profile_name;
+  }
+  if (!(cert_modes_.size() == 1 &&
+        cert_modes_[0] == core::CertMode::kPerVote)) {
+    point.cert_tag = core::cert_mode_token(cert_mode);
+    point.label += " cert=" + point.cert_tag;
   }
   point.near_miss = near_miss_;
   return point;
@@ -556,9 +598,23 @@ ScenarioMatrix named_matrix(const std::string& name) {
         .proposal_domain(2)
         .seeds({1});
   }
+  if (name == "certs") {
+    // The cert_mode coverage matrix: both certificate backends over the
+    // vote-heavy fault patterns. The cert axis is declared non-trivially,
+    // so every cell carries the cert_mode wire field; test_qc pins this
+    // matrix's job-count determinism.
+    return ScenarioMatrix()
+        .vc_kinds(all_vcs)
+        .validities({ValidityKind::kStrong})
+        .faults({FaultSpec{"silent", 0}, FaultSpec{"crash"},
+                 FaultSpec{"equivocate"}})
+        .sizes({{4, 1}, {7, 2}})
+        .cert_modes({core::CertMode::kPerVote, core::CertMode::kAggregate})
+        .seeds({1, 2});
+  }
   throw std::invalid_argument("unknown matrix '" + name +
                               "' (expected: smoke, full, byzantine,"
-                              " validity)");
+                              " validity, certs)");
 }
 
 }  // namespace valcon::harness

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "valcon/core/execution_checker.hpp"
+#include "valcon/core/quorum.hpp"
 #include "valcon/core/validity.hpp"
 #include "valcon/harness/scenario.hpp"
 #include "valcon/harness/validity_kind.hpp"
@@ -66,6 +67,10 @@ struct SweepPoint {
   /// keeps the pinned legacy matrices ("full") byte-identical.
   std::string pattern_tag;
   std::string net_profile_tag;
+  /// Certificate-backend tag, same wire gate: the cert_mode token when the
+  /// matrix declares the cert axis non-trivially (anything but the single
+  /// per-vote default), empty otherwise.
+  std::string cert_tag;
   /// Wire-format gate for the near-miss axis (same convention as the tags
   /// above): true only when the matrix opted in via record_near_miss(), so
   /// legacy outcome lines never grow the new fields.
@@ -103,6 +108,13 @@ class ScenarioMatrix {
   /// contract as keep_patterns — this is what `valcon_sweep
   /// --net-profiles` calls.
   ScenarioMatrix& keep_network_profiles(const std::vector<std::string>& keep);
+  /// Certificate backends (ScenarioConfig::cert_mode); default
+  /// {kPerVote}, the legacy one-verify-per-vote wire format.
+  ScenarioMatrix& cert_modes(std::vector<core::CertMode> modes);
+  /// Keeps only the named certificate backends ("per-vote" / "aggregate"),
+  /// with the same loud-failure contract as keep_patterns — this is what
+  /// `valcon_sweep --cert-modes` calls.
+  ScenarioMatrix& keep_cert_modes(const std::vector<std::string>& keep);
   ScenarioMatrix& gsts(std::vector<Time> v);
   ScenarioMatrix& deltas(std::vector<Time> v);
   ScenarioMatrix& seeds(std::vector<std::uint64_t> v);
@@ -127,8 +139,9 @@ class ScenarioMatrix {
 
   /// O(1) random access into the cross product: decodes `index` as a
   /// mixed-radix number over the dimension sizes (nesting vc > validity >
-  /// pattern > fault > size > net-profile > gst > delta > seed, seed
-  /// fastest-varying — exactly the order build() enumerates) and
+  /// pattern > fault > size > net-profile > gst > delta > seed >
+  /// cert-mode, cert-mode fastest-varying — exactly the order build()
+  /// enumerates) and
   /// constructs that one cell. This is what makes 1e6+-cell matrices
   /// tractable: a shard enumerates its slice cell by cell without ever
   /// materializing the full point vector, and the index ↔ cell mapping is
@@ -151,6 +164,7 @@ class ScenarioMatrix {
   std::vector<FaultSpec> faults_{FaultSpec{}};
   std::vector<std::pair<int, int>> sizes_{{4, 1}};
   std::vector<std::string> net_profiles_{"uniform"};
+  std::vector<core::CertMode> cert_modes_{core::CertMode::kPerVote};
   std::vector<Time> gsts_{0.0};
   std::vector<Time> deltas_{1.0};
   std::vector<std::uint64_t> seeds_{1};
@@ -246,7 +260,13 @@ class SweepRunner {
 ///                 a 2-value domain at n=4, t=1: the input-space coverage
 ///                 matrix, on which CorrectProposal validity is solvable
 ///                 (pigeonhole over domain 2) — unreachable from the old
-///                 hard-coded 3-value rotating assignment.
+///                 hard-coded 3-value rotating assignment;
+///   "certs"     — all stacks x both certificate backends (per-vote and
+///                 aggregate) x fault-free / crash / equivocate at {(4,1),
+///                 (7,2)}, two seeds: the cert_mode coverage matrix. The
+///                 cert axis is non-trivial, so its cells carry the
+///                 cert_mode wire field — the pinned legacy matrices never
+///                 do.
 /// Throws std::invalid_argument for unknown names.
 [[nodiscard]] ScenarioMatrix named_matrix(const std::string& name);
 

@@ -215,6 +215,9 @@ std::string outcome_line(const SweepOutcome& o) {
     os << "\"net_profile\": \"" << json_escape(o.point.net_profile_tag)
        << "\", ";
   }
+  if (!o.point.cert_tag.empty()) {
+    os << "\"cert_mode\": \"" << json_escape(o.point.cert_tag) << "\", ";
+  }
   os << "\"faults\": [";
   bool first = true;
   for (const auto& [pid, fault] : cfg.faults) {
@@ -244,6 +247,13 @@ std::string outcome_line(const SweepOutcome& o) {
      << ", \"word_complexity\": " << o.result.word_complexity
      << ", \"messages_total\": " << o.result.messages_total
      << ", \"events\": " << o.result.events;
+  // The verify tally exists only on cert-axis cells (same gate as the
+  // cert_mode field above): it is the number the axis is about, and it is
+  // deterministic per cell, so the "certs" document doubles as the
+  // job-count determinism reference for the aggregate backend.
+  if (!o.point.cert_tag.empty()) {
+    os << ", \"verifies_total\": " << o.result.verifies_total;
+  }
   // The near-miss fields exist only when the matrix opted in
   // (ScenarioMatrix::record_near_miss) — same gating convention as the
   // pattern/net_profile fields above, so every pinned legacy document
@@ -475,6 +485,7 @@ void merge_documents(std::ostream& os, std::vector<ShardDocument> docs) {
 bool Checkpoint::same_work(const Checkpoint& other) const {
   return matrix == other.matrix && strategies == other.strategies &&
          patterns == other.patterns && net_profiles == other.net_profiles &&
+         cert_modes == other.cert_modes &&
          shard.index == other.shard.index &&
          shard.count == other.shard.count && total == other.total &&
          begin == other.begin && end == other.end;
@@ -485,7 +496,8 @@ std::string Checkpoint::to_json() const {
   os << "{\"matrix\": \"" << json_escape(matrix) << "\", \"strategies\": \""
      << json_escape(strategies) << "\", \"patterns\": \""
      << json_escape(patterns) << "\", \"net_profiles\": \""
-     << json_escape(net_profiles) << "\", \"shard_index\": " << shard.index
+     << json_escape(net_profiles) << "\", \"cert_modes\": \""
+     << json_escape(cert_modes) << "\", \"shard_index\": " << shard.index
      << ", \"shard_count\": " << shard.count << ", \"total\": " << total
      << ", \"begin\": " << begin << ", \"end\": " << end
      << ", \"next\": " << next << ", \"sidecar_bytes\": " << sidecar_bytes
@@ -506,6 +518,7 @@ Checkpoint Checkpoint::parse(const std::string& text) {
   // as "no filter", which is exactly the work they recorded.
   cp.patterns = string_field(text, "patterns").value_or("");
   cp.net_profiles = string_field(text, "net_profiles").value_or("");
+  cp.cert_modes = string_field(text, "cert_modes").value_or("");
   cp.shard.index =
       static_cast<int>(size_field_or_throw(text, "shard_index", "checkpoint"));
   cp.shard.count =

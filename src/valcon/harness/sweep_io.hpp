@@ -154,11 +154,13 @@ void merge_documents(std::ostream& os, std::vector<ShardDocument> docs);
 struct Checkpoint {
   std::string matrix;
   std::string strategies;  // canonical comma-join of the --strategies list
-  /// Canonical comma-joins of the --patterns / --net-profiles filters.
-  /// Absent from pre-pattern-axis checkpoint files; parse() defaults both
-  /// to "" (no filter), so old checkpoints keep resuming.
+  /// Canonical comma-joins of the --patterns / --net-profiles /
+  /// --cert-modes filters. Absent from checkpoint files predating the
+  /// corresponding axis; parse() defaults each to "" (no filter), so old
+  /// checkpoints keep resuming.
   std::string patterns;
   std::string net_profiles;
+  std::string cert_modes;
   ShardSpec shard;
   std::size_t total = 0;
   std::size_t begin = 0;

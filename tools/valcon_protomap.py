@@ -68,6 +68,11 @@ PAYLOAD_BASE = "valcon::sim::Payload"
 # t-arithmetic is banned: protocol code must use core/thresholds.hpp.
 QUORUM_DIRS = {"consensus", "bcast"}
 
+# Individual files outside those directories that carry quorum logic and
+# get the same audit: the certificate layer counts votes against
+# caller-supplied thresholds and must never derive one from t itself.
+QUORUM_FILES = {"src/valcon/core/quorum.hpp", "src/valcon/core/quorum.cpp"}
+
 RULES = {
     "orphan-payload":
         "payload class declared but never constructed via make_payload --"
@@ -80,8 +85,8 @@ RULES = {
         " class -- metrics and debugging conflate the two",
     "raw-quorum":
         "arithmetic on the fault bound `t` in protocol code (consensus/,"
-        " bcast/) -- vote thresholds must go through the named helpers in"
-        " core/thresholds.hpp",
+        " bcast/, core/quorum) -- vote thresholds must go through the named"
+        " helpers in core/thresholds.hpp",
     "bad-suppression":
         "malformed valcon-protomap suppression: unknown rule name or"
         " missing ` -- reason`",
@@ -309,6 +314,8 @@ class TuScanner:
         return False
 
     def quorum_scoped(self, file_rel):
+        if file_rel in QUORUM_FILES:
+            return True
         parts = file_rel.split("/")
         return any(p in QUORUM_DIRS for p in parts[:-1])
 

@@ -8,7 +8,8 @@
 //                 [--jobs N] [--sizes n/t,n/t,...] [--strategies a,b,...]
 //                 [--vcs auth,nonauth,fast] [--validities a,b,...]
 //                 [--patterns a,b,...] [--net-profiles a,b,...]
-//                 [--gsts x,y,...] [--deltas x,y,...] [--domains d,...]
+//                 [--cert-modes per-vote,aggregate] [--gsts x,y,...]
+//                 [--deltas x,y,...] [--domains d,...]
 //                 [--seed-tries N] [--no-shrink] [--out FILE]
 //                 [--emit-dir DIR] [--quiet]
 //
@@ -47,7 +48,8 @@ int usage(const char* argv0) {
       << " [--search-seed N] [--budget N] [--population N] [--jobs N]"
          " [--sizes n/t,...] [--strategies a,b,...]"
          " [--vcs auth,nonauth,fast] [--validities a,b,...]"
-         " [--patterns a,b,...] [--net-profiles a,b,...] [--gsts x,...]"
+         " [--patterns a,b,...] [--net-profiles a,b,...]"
+         " [--cert-modes per-vote,aggregate] [--gsts x,...]"
          " [--deltas x,...] [--domains d,...] [--seed-tries N]"
          " [--no-shrink] [--out FILE] [--emit-dir DIR] [--quiet]\n";
   return 2;
@@ -143,6 +145,17 @@ int main(int argc, char** argv) {
       options.space.patterns = io::split_csv(value());
     } else if (arg == "--net-profiles" && i + 1 < argc) {
       options.space.net_profiles = io::split_csv(value());
+    } else if (arg == "--cert-modes" && i + 1 < argc) {
+      options.space.cert_modes.clear();
+      for (const std::string& item : io::split_csv(value())) {
+        const auto mode = core::cert_mode_from_token(item);
+        if (!mode.has_value()) {
+          std::cerr << "error: --cert-modes wants per-vote|aggregate, got '"
+                    << item << "'\n";
+          return 2;
+        }
+        options.space.cert_modes.push_back(*mode);
+      }
     } else if (arg == "--gsts" && i + 1 < argc) {
       options.space.gsts.clear();
       for (const std::string& item : io::split_csv(value())) {

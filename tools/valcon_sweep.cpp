@@ -2,16 +2,17 @@
 // of it) and emits the per-scenario results plus an aggregate summary as
 // JSON.
 //
-//   valcon_sweep [--matrix smoke|full|byzantine|validity]
+//   valcon_sweep [--matrix smoke|full|byzantine|validity|certs]
 //                [--strategies a,b,...] [--patterns a,b,...]
-//                [--net-profiles a,b,...] [--jobs N] [--shard I/M]
+//                [--net-profiles a,b,...] [--cert-modes a,b,...]
+//                [--jobs N] [--shard I/M]
 //                [--checkpoint FILE] [--stop-after K] [--out FILE]
 //                [--timing FILE] [--quiet]
 //
 // --strategies filters the matrix's fault dimension to the named adversary
-// strategies ("none" selects the fault-free cells); --patterns and
-// --net-profiles filter the proposal-pattern and network-profile
-// dimensions the same way. Unknown names abort with the list of what is
+// strategies ("none" selects the fault-free cells); --patterns,
+// --net-profiles and --cert-modes filter the proposal-pattern,
+// network-profile and certificate-backend dimensions the same way. Unknown names abort with the list of what is
 // registered; a name the matrix does not sweep aborts too (nothing
 // requested is dropped silently).
 //
@@ -60,9 +61,10 @@ namespace {
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " [--matrix smoke|full|byzantine|validity]"
+            << " [--matrix smoke|full|byzantine|validity|certs]"
                " [--strategies a,b,...] [--patterns a,b,...]"
-               " [--net-profiles a,b,...] [--jobs N] [--shard I/M]"
+               " [--net-profiles a,b,...] [--cert-modes a,b,...]"
+               " [--jobs N] [--shard I/M]"
                " [--checkpoint FILE] [--stop-after K] [--out FILE]"
                " [--timing FILE] [--quiet]\n";
   return 2;
@@ -136,6 +138,7 @@ int main(int argc, char** argv) {
   std::string strategies_csv;
   std::string patterns_csv;
   std::string net_profiles_csv;
+  std::string cert_modes_csv;
   std::string out_path;
   std::string checkpoint_path;
   std::string timing_path;
@@ -153,6 +156,8 @@ int main(int argc, char** argv) {
       patterns_csv = argv[++i];
     } else if (arg == "--net-profiles" && i + 1 < argc) {
       net_profiles_csv = argv[++i];
+    } else if (arg == "--cert-modes" && i + 1 < argc) {
+      cert_modes_csv = argv[++i];
     } else if (arg == "--jobs" && i + 1 < argc) {
       // Strict parse: "--jobs abc" / "--jobs -3" used to become 1 job
       // silently via atoi.
@@ -200,6 +205,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> strategies;
   std::vector<std::string> patterns;
   std::vector<std::string> net_profiles;
+  std::vector<std::string> cert_modes;
   try {
     matrix = named_matrix(matrix_name);
     if (!strategies_csv.empty()) {
@@ -213,6 +219,10 @@ int main(int argc, char** argv) {
     if (!net_profiles_csv.empty()) {
       net_profiles = io::split_csv(net_profiles_csv);
       matrix.keep_network_profiles(net_profiles);
+    }
+    if (!cert_modes_csv.empty()) {
+      cert_modes = io::split_csv(cert_modes_csv);
+      matrix.keep_cert_modes(cert_modes);
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
@@ -239,6 +249,7 @@ int main(int argc, char** argv) {
   cp.strategies = sorted_join(strategies);
   cp.patterns = sorted_join(patterns);
   cp.net_profiles = sorted_join(net_profiles);
+  cp.cert_modes = sorted_join(cert_modes);
   cp.shard = shard.value_or(io::ShardSpec{0, 1});
   cp.total = total;
   cp.begin = range.begin;
@@ -255,7 +266,8 @@ int main(int argc, char** argv) {
         if (!loaded.same_work(cp)) {
           std::cerr << "error: checkpoint " << checkpoint_path
                     << " records different work (matrix, --strategies,"
-                       " --patterns, --net-profiles or shard mismatch);"
+                       " --patterns, --net-profiles, --cert-modes or shard"
+                       " mismatch);"
                        " delete it or rerun the original invocation\n";
           return 2;
         }
