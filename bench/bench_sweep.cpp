@@ -13,11 +13,17 @@
 // full-matrix sweep throughput (cells/sec), and the quorum-certificate
 // section — the same fault-free workload under cert_mode per-vote and
 // aggregate, normalized per decision (messages_per_decision,
-// verifies_per_decision, ns_per_decision). Every section carries both the
-// machine's `hardware_concurrency` and the `jobs` the section actually
-// used; the two were previously conflated, which made documents from
-// jobs-capped runs unreadable. docs/performance.md describes the schema
-// and how to read the numbers.
+// verifies_per_decision, ns_per_decision), and the large-n scaling
+// section — one committee-topology cell per n in {10, 50, 100, 500,
+// 1000}, recording messages per decision, wall seconds and peak RSS
+// against the quadratic Dolev-Reischuk curve, plus the fitted log-log
+// scaling exponent CI gates on (strictly below quadratic). Every section
+// carries both the machine's `hardware_concurrency` and the `jobs` the
+// section actually used; the two were previously conflated, which made
+// documents from jobs-capped runs unreadable. docs/performance.md
+// describes the schema and how to read the numbers.
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -338,10 +344,106 @@ std::vector<QcModeResult> run_qc_section(int jobs) {
   return out;
 }
 
+// ------------------------------------------------------------ large-n bench
+//
+// The scaling measurement behind the topology axis: one committee-7 cell
+// (auth stack, aggregate certificates, fault-free, unanimous proposals)
+// per system size. The committee runs the full stack among 7 processes
+// whatever n is; everything past the committee is listener fanout, so
+// total traffic grows like O(k^2 + t_c * n) — the fitted log-log exponent
+// of messages against n must stay strictly below 2, which is the CI gate.
+// The quadratic (ceil(t/2))^2 Dolev-Reischuk curve at the full-mesh
+// tolerance t = (n-1)/3 is emitted alongside as the contrast: the floor
+// any full-mesh protocol with non-trivial validity must pay, and what the
+// committee trades t for.
+struct LargeNResult {
+  int n = 0;
+  int committee_k = 0;
+  int t = 0;  // the full-mesh tolerance the Dolev-Reischuk curve assumes
+  std::size_t decisions = 0;
+  std::uint64_t messages_total = 0;
+  std::uint64_t events = 0;
+  std::uint64_t dolev_reischuk_bound = 0;  // (ceil(t/2))^2
+  double wall_seconds = 0.0;
+  /// getrusage peak RSS in KiB after the cell ran — process-wide and
+  /// monotone over the sequence, so per-n values are a ceiling, not a
+  /// delta; the acceptance gate only needs the n=1000 ceiling.
+  long max_rss_kb = 0;
+
+  [[nodiscard]] double messages_per_decision() const {
+    return decisions > 0 ? static_cast<double>(messages_total) /
+                               static_cast<double>(decisions)
+                         : 0;
+  }
+};
+
+LargeNResult run_large_n_cell(int n) {
+  constexpr int kCommittee = 7;
+  const int t = (n - 1) / 3;
+  const SweepPoint point = ScenarioMatrix()
+                               .vc_kinds({VcKind::kAuthenticated})
+                               .validities({ValidityKind::kStrong})
+                               .patterns({"unanimous"})
+                               .faults({FaultSpec{"silent", 0}})
+                               .sizes({{n, t}})
+                               .topologies({"committee-" +
+                                            std::to_string(kCommittee)})
+                               .cert_modes({core::CertMode::kAggregate})
+                               .seeds({1})
+                               .point_at(0);
+  LargeNResult r;
+  r.n = n;
+  r.committee_k = kCommittee;
+  r.t = t;
+  const std::uint64_t half = (static_cast<std::uint64_t>(t) + 1) / 2;
+  r.dolev_reischuk_bound = half * half;
+  const auto start = std::chrono::steady_clock::now();
+  const SweepOutcome outcome = run_point(point);
+  r.wall_seconds = seconds_since(start);
+  r.decisions = outcome.result.decisions.size();
+  r.messages_total = outcome.result.messages_total;
+  r.events = outcome.result.events;
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) == 0) r.max_rss_kb = usage.ru_maxrss;
+  return r;
+}
+
+std::vector<LargeNResult> run_large_n_section() {
+  std::vector<LargeNResult> out;
+  for (const int n : {10, 50, 100, 500, 1000}) {
+    out.push_back(run_large_n_cell(n));
+  }
+  return out;
+}
+
+/// Fitted log-log exponents of the large-n curves (scenario.hpp's
+/// loglog_slope): how message totals and per-decision messages actually
+/// grow with n. Sub-quadratic total growth is the committee topology's
+/// whole point.
+struct LargeNSlopes {
+  double messages = 0.0;
+  double messages_per_decision = 0.0;
+};
+
+LargeNSlopes large_n_slopes(const std::vector<LargeNResult>& cells) {
+  std::vector<double> xs, total, per_decision;
+  for (const LargeNResult& r : cells) {
+    xs.push_back(static_cast<double>(r.n));
+    total.push_back(static_cast<double>(r.messages_total));
+    per_decision.push_back(r.messages_per_decision());
+  }
+  LargeNSlopes s;
+  s.messages = loglog_slope(xs, total);
+  s.messages_per_decision = loglog_slope(xs, per_decision);
+  return s;
+}
+
 // Minimal JSON emitter: every value here is a number or a fixed string, so
 // escaping never comes up. Field order is fixed for easy diffing.
 std::string json_document(const HotPathResult& hot, const SweepThroughput& sw,
-                          const std::vector<QcModeResult>& qc, unsigned hw) {
+                          const std::vector<QcModeResult>& qc,
+                          const std::vector<LargeNResult>& large_n,
+                          unsigned hw) {
   std::ostringstream out;
   out.precision(17);
   const char* build_type =
@@ -402,7 +504,37 @@ std::string json_document(const HotPathResult& hot, const SweepThroughput& sw,
         << "      \"ns_per_decision\": " << r.ns_per_decision() << "\n"
         << "    }" << (i + 1 < qc.size() ? "," : "") << "\n";
   }
-  out << "  ]\n"
+  out << "  ],\n";
+  const LargeNSlopes slopes = large_n_slopes(large_n);
+  out << "  \"large_n\": {\n"
+      << "    \"topology\": \"committee-" << large_n.front().committee_k
+      << "\",\n"
+      << "    \"stack\": \"auth\",\n"
+      << "    \"cert_mode\": \"aggregate\",\n"
+      << "    \"jobs\": 1,\n"
+      << "    \"messages_slope\": " << slopes.messages << ",\n"
+      << "    \"messages_per_decision_slope\": "
+      << slopes.messages_per_decision << ",\n"
+      << "    \"cells\": [\n";
+  for (std::size_t i = 0; i < large_n.size(); ++i) {
+    const LargeNResult& r = large_n[i];
+    out << "      {\n"
+        << "        \"n\": " << r.n << ",\n"
+        << "        \"t\": " << r.t << ",\n"
+        << "        \"committee_k\": " << r.committee_k << ",\n"
+        << "        \"decisions\": " << r.decisions << ",\n"
+        << "        \"messages\": " << r.messages_total << ",\n"
+        << "        \"events\": " << r.events << ",\n"
+        << "        \"messages_per_decision\": " << r.messages_per_decision()
+        << ",\n"
+        << "        \"dolev_reischuk_bound\": " << r.dolev_reischuk_bound
+        << ",\n"
+        << "        \"wall_seconds\": " << r.wall_seconds << ",\n"
+        << "        \"max_rss_kb\": " << r.max_rss_kb << "\n"
+        << "      }" << (i + 1 < large_n.size() ? "," : "") << "\n";
+  }
+  out << "    ]\n"
+      << "  }\n"
       << "}\n";
   return out.str();
 }
@@ -421,7 +553,10 @@ int run_json_mode(const std::string& out_path) {
   const int jobs = hw > 1 ? static_cast<int>(std::min(hw, 8u)) : 1;
   const SweepThroughput sweep = run_sweep_throughput("full", jobs);
   const std::vector<QcModeResult> qc = run_qc_section(jobs);
-  const std::string doc = json_document(hot, sweep, qc, hw);
+  // Ascending n so each cell's getrusage peak is attributable to sizes up
+  // to and including its own; jobs=1 so RSS is not inflated by pool peers.
+  const std::vector<LargeNResult> large_n = run_large_n_section();
+  const std::string doc = json_document(hot, sweep, qc, large_n, hw);
   if (out_path.empty()) {
     std::cout << doc;
   } else {

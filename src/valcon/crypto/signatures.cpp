@@ -67,18 +67,28 @@ KeyRegistry::KeyRegistry(int n, int k, std::uint64_t seed)
     : n_(n), k_(k), seed_(seed) {
   root_secret_ =
       truncate(Hasher("valcon/root-secret").add(seed).finish());
-  secrets_.reserve(static_cast<std::size_t>(n));
-  for (int i = 0; i < n; ++i) {
-    secrets_.push_back(truncate(
-        Hasher("valcon/process-secret").add(seed).add(i).finish()));
+  // Per-process secrets are derived on first use (secret_for); the slot
+  // array is value-initialized (atomics zeroed, ready=false) and that is
+  // the only O(n) cost a registry pays up front.
+  secrets_ = std::make_unique<LazySecret[]>(static_cast<std::size_t>(n));
+}
+
+std::uint64_t KeyRegistry::secret_for(ProcessId id) const {
+  LazySecret& slot = secrets_[static_cast<std::size_t>(id)];
+  if (slot.ready.load(std::memory_order_acquire)) {
+    return slot.value.load(std::memory_order_relaxed);
   }
+  const std::uint64_t secret = truncate(
+      Hasher("valcon/process-secret").add(seed_).add(id).finish());
+  slot.value.store(secret, std::memory_order_relaxed);
+  slot.ready.store(true, std::memory_order_release);
+  derivations_.fetch_add(1, std::memory_order_relaxed);
+  return secret;
 }
 
 std::uint64_t KeyRegistry::mac_for(ProcessId id, const Hash& digest) const {
-  return truncate(Hasher("valcon/sig")
-                      .add(secrets_[static_cast<std::size_t>(id)])
-                      .add(digest)
-                      .finish());
+  return truncate(
+      Hasher("valcon/sig").add(secret_for(id)).add(digest).finish());
 }
 
 std::uint64_t KeyRegistry::threshold_mac(const Hash& digest) const {

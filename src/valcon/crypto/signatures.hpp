@@ -31,7 +31,9 @@
 // AggregateSignature is one word plus the bitset's ceil(n/64) words.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -131,7 +133,14 @@ struct VerifyCounters {
 class Signer;
 
 /// Holds every process's signing secret plus the threshold-scheme root.
-/// One registry per simulated deployment.
+/// One registry per simulated deployment. Per-process secrets are derived
+/// lazily on first use — each is an independent pure function of
+/// (seed, id), so a registry for n=1000 costs O(touched processes), not
+/// O(n), which is what lets large-n committee scenarios share one registry
+/// per (n, k, seed) without materializing a thousand keypairs up front.
+/// Derivation is thread-safe (registries are shared across sweep worker
+/// threads): a release/acquire ready flag guards each slot, and a racing
+/// double-derivation writes the identical value.
 class KeyRegistry {
  public:
   /// `k` is the combining threshold (the paper uses k = n - t).
@@ -171,17 +180,36 @@ class KeyRegistry {
   /// `id`'s key: this is the structural unforgeability boundary.
   [[nodiscard]] Signer signer_for(ProcessId id) const;
 
+  /// How many per-process secrets have been derived so far. Purely an
+  /// observability hook for the laziness regression tests (a clean run that
+  /// signs with c processes must derive exactly the secrets those paths
+  /// touch); the count is monotone and approximate under concurrent first
+  /// touches of the same slot.
+  [[nodiscard]] std::uint64_t key_derivations() const {
+    return derivations_.load(std::memory_order_relaxed);
+  }
+
  private:
   friend class Signer;
 
+  [[nodiscard]] std::uint64_t secret_for(ProcessId id) const;
   [[nodiscard]] std::uint64_t mac_for(ProcessId id, const Hash& digest) const;
   [[nodiscard]] std::uint64_t threshold_mac(const Hash& digest) const;
+
+  /// One lazily derived secret: `ready` (release/acquire) publishes
+  /// `value`. Racing derivations write the same bytes, so the worst case
+  /// is redundant hashing, never a torn or divergent key.
+  struct LazySecret {
+    std::atomic<std::uint64_t> value{0};
+    std::atomic<bool> ready{false};
+  };
 
   int n_;
   int k_;
   std::uint64_t seed_;
   std::uint64_t root_secret_;
-  std::vector<std::uint64_t> secrets_;
+  mutable std::unique_ptr<LazySecret[]> secrets_;
+  mutable std::atomic<std::uint64_t> derivations_{0};
 };
 
 /// Per-process signing capability.

@@ -1,5 +1,6 @@
 #include "valcon/harness/net_profile.hpp"
 
+#include <algorithm>
 #include <limits>
 #include <stdexcept>
 
@@ -11,6 +12,18 @@ namespace {
 /// model bound max(send, GST) + delta, which is the point — "as late as
 /// the model allows" without the profile re-deriving the bound.
 constexpr Time kModelBound = std::numeric_limits<Time>::max();
+
+/// splitmix64 finalizer: the overlay membership hash. Statistically flat,
+/// pure, and cheap enough to evaluate per delivery (the policy is called
+/// on the hot path, so no table is materialized — O(1) memory at any n).
+std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
 
 }  // namespace
 
@@ -29,6 +42,22 @@ sim::Network::DelayPolicy NetworkProfile::make_delay_policy(Time gst) const {
                     Time /*send_time*/) -> std::optional<Time> {
         if (from == slow || to == slow) return kModelBound;
         return std::nullopt;
+      };
+    }
+    case Policy::kSampledOverlay: {
+      const std::uint64_t seed = overlay_seed;
+      const auto keep = static_cast<std::uint64_t>(overlay_keep_permille);
+      return [seed, keep](ProcessId from, ProcessId to,
+                          Time /*send_time*/) -> std::optional<Time> {
+        if (from == to) return std::nullopt;  // self-links stay fast
+        // Undirected membership: hash the sorted endpoint pair, so both
+        // directions of a link agree on overlay membership.
+        const auto lo = static_cast<std::uint64_t>(std::min(from, to));
+        const auto hi = static_cast<std::uint64_t>(std::max(from, to));
+        const std::uint64_t h =
+            mix64(seed ^ (lo * 0x9e3779b97f4a7c15ULL) ^ mix64(hi));
+        if (h % 1000 < keep) return std::nullopt;
+        return kModelBound;
       };
     }
   }
@@ -50,6 +79,11 @@ void NetworkProfile::validate(int n) const {
     fail("target " + std::to_string(target) + " outside [0, " +
          std::to_string(n) + ")");
   }
+  if (policy == Policy::kSampledOverlay &&
+      (overlay_keep_permille < 1 || overlay_keep_permille > 1000)) {
+    fail("overlay_keep_permille " + std::to_string(overlay_keep_permille) +
+         " outside [1, 1000]");
+  }
 }
 
 NetworkProfile named_network_profile(const std::string& name) {
@@ -67,6 +101,12 @@ NetworkProfile named_network_profile(const std::string& name) {
     profile.target = 0;
     return profile;
   }
+  if (name == "sampled-overlay") {
+    NetworkProfile profile;
+    profile.name = name;
+    profile.policy = NetworkProfile::Policy::kSampledOverlay;
+    return profile;
+  }
   std::string known;
   for (const std::string& n : network_profile_names()) {
     if (!known.empty()) known += ", ";
@@ -77,7 +117,8 @@ NetworkProfile named_network_profile(const std::string& name) {
 }
 
 std::vector<std::string> network_profile_names() {
-  return {"pre-gst-starve", "targeted-slow-links", "uniform"};
+  return {"pre-gst-starve", "sampled-overlay", "targeted-slow-links",
+          "uniform"};
 }
 
 }  // namespace valcon::harness

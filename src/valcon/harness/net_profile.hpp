@@ -16,6 +16,7 @@
 // exhaust it.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -39,11 +40,21 @@ namespace valcon::harness {
 ///                           is delivered at the model bound; the rest of
 ///                           the network is untouched — a targeted
 ///                           slowdown of one participant
+///   "sampled-overlay"     — a seeded sparse overlay: each undirected link
+///                           is kept fast with probability
+///                           overlay_keep_permille/1000 (a pure hash of
+///                           (overlay_seed, endpoints) — deterministic and
+///                           symmetric, both directions agree); every
+///                           non-overlay link is delivered at the model
+///                           bound. The large-n regime where only a
+///                           sampled subgraph is fast while the mesh
+///                           itself stays within partial synchrony
 struct NetworkProfile {
   enum class Policy {
-    kNone,          // no per-link policy
-    kStarvePreGst,  // pre-GST sends arrive at the model bound
-    kSlowTarget,    // links touching `target` arrive at the model bound
+    kNone,            // no per-link policy
+    kStarvePreGst,    // pre-GST sends arrive at the model bound
+    kSlowTarget,      // links touching `target` arrive at the model bound
+    kSampledOverlay,  // links outside a seeded sampled overlay crawl
   };
 
   std::string name = "uniform";
@@ -54,6 +65,11 @@ struct NetworkProfile {
   Policy policy = Policy::kNone;
   /// kSlowTarget only: the process whose links crawl.
   ProcessId target = 0;
+  /// kSampledOverlay only: the overlay sampling seed and the per-mille
+  /// probability a given undirected link is kept fast (self-links always
+  /// are).
+  std::uint64_t overlay_seed = 1;
+  int overlay_keep_permille = 500;
 
   /// The per-link policy for this profile, or an empty function for
   /// kNone. Arrival times it returns are clamped by the network to
@@ -61,8 +77,9 @@ struct NetworkProfile {
   [[nodiscard]] sim::Network::DelayPolicy make_delay_policy(Time gst) const;
 
   /// Throws std::invalid_argument for malformed fields: empty name,
-  /// zero/negative overrides (use < 0 for "keep the default"), or a
-  /// kSlowTarget target outside [0, n).
+  /// zero/negative overrides (use < 0 for "keep the default"), a
+  /// kSlowTarget target outside [0, n), or a kSampledOverlay keep
+  /// probability outside (0, 1000].
   void validate(int n) const;
 };
 

@@ -144,6 +144,7 @@ void validate(const ScenarioConfig& cfg) {
          std::to_string(cfg.net_profile.min_delay) + " exceeds delta " +
          std::to_string(cfg.delta));
   }
+  cfg.topology.validate(cfg.n);
 }
 
 RunResult run_universal(const ScenarioConfig& cfg,
@@ -173,11 +174,31 @@ RunResult run_universal(const ScenarioConfig& cfg,
   auto result = std::make_shared<RunResult>();
   auto correct_decided = std::make_shared<int>(0);
 
+  // Committee topology: the inner stack runs over a k-sized system (and a
+  // k-sized key registry) on the k lowest-id processes; everyone else is a
+  // listener. Full mesh takes exactly the legacy path — same stacks, same
+  // registry, byte-identical runs.
+  const bool committee = !cfg.topology.full_mesh();
+  const int committee_k = committee ? cfg.topology.committee_k : cfg.n;
+  const int committee_t =
+      committee ? Topology::committee_fault_tolerance(committee_k) : cfg.t;
+  std::shared_ptr<const crypto::KeyRegistry> committee_keys;
+  std::shared_ptr<const ScenarioConfig> inner_cfg;
+  if (committee) {
+    committee_keys = shared_key_registry(
+        committee_k, committee_k - committee_t, cfg.seed);
+    auto inner = std::make_shared<ScenarioConfig>(cfg);
+    inner->n = committee_k;
+    inner->t = committee_t;
+    inner_cfg = std::move(inner);
+  }
+
   // Builds the same full Universal stack a correct process runs, proposing
   // `v`. `record` wires its decisions into the RunResult (they are pruned
   // from the correctness-facing views at the end if the process is faulty);
   // a non-recorded stack discards them (equivocation faces etc.).
-  const auto make_stack = [&](Value v, bool record, bool is_correct) {
+  const auto make_stack =
+      [&](Value v, bool record, bool is_correct) -> std::unique_ptr<sim::Process> {
     auto on_decide =
         record ? core::Universal::DecideCb(
                      [result, correct_decided, is_correct](sim::Context& ctx,
@@ -187,8 +208,18 @@ RunResult run_universal(const ScenarioConfig& cfg,
                        if (is_correct) ++*correct_decided;
                      })
                : core::Universal::DecideCb([](sim::Context&, Value) {});
-    return std::make_unique<sim::ComponentHost>(
-        make_universal(cfg, v, lambda, std::move(on_decide)));
+    if (!committee) {
+      return std::make_unique<sim::ComponentHost>(
+          make_universal(cfg, v, lambda, std::move(on_decide)));
+    }
+    CommitteeHost::StackFactory factory =
+        [inner_cfg, v, lambda](core::Universal::DecideCb inner_decide) {
+          return make_universal(*inner_cfg, v, lambda,
+                                std::move(inner_decide));
+        };
+    return std::make_unique<CommitteeHost>(
+        committee_k, committee_t, cfg.cert_mode, committee_keys,
+        std::move(factory), std::move(on_decide));
   };
 
   // One blackboard per run: colluding strategies coordinate through it

@@ -15,6 +15,7 @@
 #include "valcon/core/quorum.hpp"
 #include "valcon/core/universal.hpp"
 #include "valcon/harness/net_profile.hpp"
+#include "valcon/harness/topology.hpp"
 #include "valcon/sim/simulator.hpp"
 
 namespace valcon::harness {
@@ -179,6 +180,11 @@ struct ScenarioConfig {
   /// The default keeps every pinned sweep output byte-identical; aggregate
   /// mode batches votes into quorum certificates.
   core::CertMode cert_mode = core::CertMode::kPerVote;
+  /// Communication topology (harness/topology.hpp). The default full mesh
+  /// runs the stack on every process exactly as before (byte-identical
+  /// pinned sweeps); committee-k runs it on the k lowest-id processes and
+  /// the rest decide from announced decisions/certificates.
+  Topology topology;
 };
 
 struct RunResult {
@@ -256,7 +262,8 @@ struct RunResult {
 /// 0 <= t < n, one proposal per process, at most t faults, every fault id
 /// in [0, n), every fault strategy registered (with valid parameters, per
 /// the strategy's own validate hook), delta > 0, gst >= 0, horizon > 0,
-/// grace_multiplier > 0 and a well-formed net_profile (its own validate).
+/// grace_multiplier > 0, a well-formed net_profile (its own validate) and
+/// a well-formed topology (its own validate, against n).
 void validate(const ScenarioConfig& cfg);
 
 /// Runs Universal end to end with the given Λ. Validates cfg first (see

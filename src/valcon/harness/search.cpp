@@ -84,7 +84,8 @@ bool Candidate::operator==(const Candidate& other) const {
          n == other.n && t == other.t && gst == other.gst &&
          delta == other.delta && domain == other.domain &&
          victims == other.victims && observe == other.observe &&
-         cert == other.cert && seed == other.seed;
+         cert == other.cert && topology == other.topology &&
+         seed == other.seed;
 }
 
 std::string Candidate::key() const {
@@ -94,10 +95,13 @@ std::string Candidate::key() const {
      << '/' << n << '/' << t << '/' << io::json_number(gst) << '/'
      << io::json_number(delta) << '/' << domain << '/' << victims << '/'
      << observe << '/';
-  // Wire-gated like the cell JSON: per-vote (the historical only value)
-  // stays absent, so legacy keys are unchanged.
+  // Wire-gated like the cell JSON: per-vote / full-mesh (the historical
+  // only values) stay absent, so legacy keys are unchanged.
   if (cert != core::CertMode::kPerVote) {
     os << core::cert_mode_token(cert) << '/';
+  }
+  if (topology != "full-mesh") {
+    os << topology << '/';
   }
   os << seed;
   return os.str();
@@ -125,6 +129,7 @@ SweepPoint candidate_point(const Candidate& c) {
       .deltas({c.delta})
       .seeds({c.seed})
       .cert_modes({c.cert})
+      .topologies({c.topology})
       .proposal_domain(c.domain)
       .record_near_miss(true)
       // Bounded liveness cutoff: a non-terminating candidate (the search's
@@ -192,6 +197,7 @@ Candidate sample(sim::Rng& rng, const SearchSpace& space) {
   c.domain = pick(rng, space.domains);
   c.fault_count = -1;  // all t faulty; shrinking minimizes later
   c.cert = pick(rng, space.cert_modes);
+  c.topology = pick(rng, space.topologies);
   c.seed = sample_seed(rng);
   return c;
 }
@@ -203,7 +209,7 @@ Candidate mutate(sim::Rng& rng, const SearchSpace& space, Candidate c) {
   static const std::vector<int> kObserve{-1, 1, 4, 8, 16, 32};
   const int tweaks = 1 + static_cast<int>(rng.next_below(2));
   for (int i = 0; i < tweaks; ++i) {
-    switch (rng.next_below(13)) {
+    switch (rng.next_below(14)) {
       case 0: c.strategy = pick(rng, space.strategies); break;
       case 1: c.vc = pick(rng, space.vcs); break;
       case 2: c.validity = pick(rng, space.validities); break;
@@ -230,6 +236,7 @@ Candidate mutate(sim::Rng& rng, const SearchSpace& space, Candidate c) {
         c.observe = pick(rng, kObserve);
         break;
       case 11: c.cert = pick(rng, space.cert_modes); break;
+      case 12: c.topology = pick(rng, space.topologies); break;
       default: c.seed = sample_seed(rng); break;
     }
   }
@@ -255,6 +262,7 @@ void check_options(const SearchOptions& options) {
   require_nonempty(!s.deltas.empty(), "delta");
   require_nonempty(!s.domains.empty(), "domain");
   require_nonempty(!s.cert_modes.empty(), "cert-mode");
+  require_nonempty(!s.topologies.empty(), "topology");
   if (options.budget <= 0) {
     throw std::invalid_argument("search budget must be positive");
   }
@@ -411,6 +419,16 @@ Counterexample shrink(const Candidate& c, Verdict verdict,
         changed = true;
       }
     }
+    // Likewise full-mesh: a violation that survives without the committee
+    // overlay is not about the announce/relay layer at all.
+    if (cur.topology != "full-mesh") {
+      Candidate next = cur;
+      next.topology = "full-mesh";
+      if (reproduces(next)) {
+        cur = next;
+        changed = true;
+      }
+    }
   }
   // Seed re-derivation: the smallest seed in [1, seed_tries] below the
   // found one that still reproduces. Ascending order + first-accept keeps
@@ -548,10 +566,14 @@ void candidate_fields(std::ostream& os, const Candidate& c) {
      << "\"domain\": " << c.domain << ", "
      << "\"victims\": " << c.victims << ", "
      << "\"observe\": " << c.observe << ", ";
-  // Wire-gated (same convention as the sweep axes): the per-vote default
-  // is absent, so every legacy corpus cell keeps its exact bytes.
+  // Wire-gated (same convention as the sweep axes): the per-vote /
+  // full-mesh defaults are absent, so every legacy corpus cell keeps its
+  // exact bytes.
   if (c.cert != core::CertMode::kPerVote) {
     os << "\"cert_mode\": \"" << core::cert_mode_token(c.cert) << "\", ";
+  }
+  if (c.topology != "full-mesh") {
+    os << "\"topology\": \"" << io::json_escape(c.topology) << "\", ";
   }
   os << "\"seed\": " << c.seed;
 }
@@ -649,12 +671,17 @@ CorpusCell parse_cell(const std::string& json) {
   c.victims = int_field(json, "victims");
   c.observe = int_field(json, "observe");
   // Absent on legacy cells (strictness exception: absence IS the per-vote
-  // default under the wire gate, not a malformed cell).
+  // / full-mesh default under the wire gate, not a malformed cell).
   if (json.find("\"cert_mode\": \"") != std::string::npos) {
     const auto cert = core::cert_mode_from_token(string_field(json,
                                                               "cert_mode"));
     if (!cert.has_value()) bad_cell("unknown cert_mode token");
     c.cert = *cert;
+  }
+  if (json.find("\"topology\": \"") != std::string::npos) {
+    c.topology = string_field(json, "topology");
+    // Throws for malformed names; a corpus cell must always replay.
+    static_cast<void>(named_topology(c.topology));
   }
   const double seed = number_field(json, "seed");
   if (seed < 0 || static_cast<double>(static_cast<std::uint64_t>(seed)) !=
@@ -675,6 +702,9 @@ std::string cell_filename(const Counterexample& cx) {
      << c.strategy;
   if (c.cert != core::CertMode::kPerVote) {
     os << "-" << core::cert_mode_token(c.cert);
+  }
+  if (c.topology != "full-mesh") {
+    os << "-" << c.topology;
   }
   os << "-n" << c.n << "t" << c.t << "-s" << c.seed << ".json";
   return os.str();

@@ -91,6 +91,11 @@ struct Candidate {
   /// key(), the cell JSON and the cell file name, so every legacy corpus
   /// cell keeps its exact bytes and identity.
   core::CertMode cert = core::CertMode::kPerVote;
+  /// Communication topology (harness/topology.hpp). Wire-gated like cert:
+  /// the full-mesh default is absent from key(), the cell JSON and the
+  /// cell file name. A committee larger than n evaluates to an error
+  /// verdict (run_universal rejects it), never a crash.
+  std::string topology = "full-mesh";
   std::uint64_t seed = 1;
 
   [[nodiscard]] bool operator==(const Candidate& other) const;
@@ -139,6 +144,12 @@ struct SearchSpace {
   /// per-vote,aggregate` widens the pool so forge-qc (inert per-vote) has
   /// QCs to forge.
   std::vector<core::CertMode> cert_modes{core::CertMode::kPerVote};
+  /// Topologies ("full-mesh" / "committee-<k>"). Widening the pool (e.g.
+  /// `valcon_search --topologies full-mesh,committee-4`) lets the search
+  /// attack the committee announce/relay layer; pair it with sizes large
+  /// enough for the committees, since a committee larger than n is an
+  /// error cell.
+  std::vector<std::string> topologies{"full-mesh"};
 };
 
 struct SearchOptions {

@@ -172,6 +172,19 @@ ScenarioMatrix& ScenarioMatrix::keep_cert_modes(
   cert_modes_ = std::move(kept);
   return *this;
 }
+ScenarioMatrix& ScenarioMatrix::topologies(std::vector<std::string> names) {
+  topologies_ = std::move(names);
+  return *this;
+}
+ScenarioMatrix& ScenarioMatrix::keep_topologies(
+    const std::vector<std::string>& keep) {
+  for (const std::string& name : keep) {
+    // Throws for unknown names, listing the known forms.
+    static_cast<void>(named_topology(name));
+  }
+  topologies_ = filter_axis(topologies_, keep, "topology");
+  return *this;
+}
 ScenarioMatrix& ScenarioMatrix::gsts(std::vector<Time> v) {
   gsts_ = std::move(v);
   return *this;
@@ -207,7 +220,8 @@ ScenarioMatrix& ScenarioMatrix::horizon(Time cap) {
 std::size_t ScenarioMatrix::size() const {
   return vcs_.size() * validities_.size() * patterns_.size() *
          faults_.size() * sizes_.size() * net_profiles_.size() *
-         gsts_.size() * deltas_.size() * seeds_.size() * cert_modes_.size();
+         gsts_.size() * deltas_.size() * seeds_.size() * cert_modes_.size() *
+         topologies_.size();
 }
 
 void ScenarioMatrix::check_dimensions() const {
@@ -250,17 +264,18 @@ SweepPoint ScenarioMatrix::point_at(std::size_t index) const {
   }
   // Mixed-radix decode, least-significant (fastest-varying) digit first:
   // the dimension nesting is vc > validity > pattern > fault > size >
-  // net-profile > gst > delta > seed > cert-mode, so the cert-mode digit
-  // is peeled first. This is the one source of truth for the index ↔ cell
-  // mapping; build() just replays it. (The three new axes decode as
-  // radix-1 digits on legacy matrices, so their indices — and bytes — are
-  // untouched.)
+  // net-profile > gst > delta > seed > cert-mode > topology, so the
+  // topology digit is peeled first. This is the one source of truth for
+  // the index ↔ cell mapping; build() just replays it. (The four new axes
+  // decode as radix-1 digits on legacy matrices, so their indices — and
+  // bytes — are untouched.)
   std::size_t rem = index;
   const auto digit = [&rem](std::size_t radix) {
     const std::size_t d = rem % radix;
     rem /= radix;
     return d;
   };
+  const std::string& topology_name = topologies_[digit(topologies_.size())];
   const core::CertMode cert_mode = cert_modes_[digit(cert_modes_.size())];
   const std::uint64_t seed = seeds_[digit(seeds_.size())];
   const Time delta = deltas_[digit(deltas_.size())];
@@ -281,6 +296,7 @@ SweepPoint ScenarioMatrix::point_at(std::size_t index) const {
   cfg.vc = vc;
   cfg.horizon = horizon_;
   cfg.cert_mode = cert_mode;
+  cfg.topology = named_topology(topology_name);
   cfg.net_profile = named_network_profile(profile_name);
   const PatternEnv penv{n, t, seed, domain_, validity};
   cfg.proposals = PatternRegistry::global().make(pattern_name)->assign(penv);
@@ -342,6 +358,10 @@ SweepPoint ScenarioMatrix::point_at(std::size_t index) const {
         cert_modes_[0] == core::CertMode::kPerVote)) {
     point.cert_tag = core::cert_mode_token(cert_mode);
     point.label += " cert=" + point.cert_tag;
+  }
+  if (!(topologies_.size() == 1 && topologies_[0] == "full-mesh")) {
+    point.topology_tag = topology_name;
+    point.label += " topo=" + topology_name;
   }
   point.near_miss = near_miss_;
   return point;
@@ -612,9 +632,29 @@ ScenarioMatrix named_matrix(const std::string& name) {
         .cert_modes({core::CertMode::kPerVote, core::CertMode::kAggregate})
         .seeds({1, 2});
   }
+  if (name == "committee") {
+    // The large-n topology matrix: committees of {4, 7, 10} inside systems
+    // of {50, 100, 200} processes, both certificate backends, fault-free
+    // and crash. Faults land on the highest ids (point_at's assignment
+    // rule), i.e. on listeners — the committee itself stays correct, so
+    // every cell must terminate cleanly. Unanimous proposals keep every
+    // validity verdict trivially green whatever the committee decides.
+    // The topology and cert axes are non-trivial, so every cell carries
+    // the topology and cert_mode wire fields; test_topology pins this
+    // matrix's job-count determinism.
+    return ScenarioMatrix()
+        .vc_kinds(all_vcs)
+        .validities({ValidityKind::kStrong})
+        .patterns({"unanimous"})
+        .faults({FaultSpec{"silent", 0}, FaultSpec{"crash"}})
+        .sizes({{50, 4}, {100, 8}, {200, 16}})
+        .topologies({"committee-4", "committee-7", "committee-10"})
+        .cert_modes({core::CertMode::kPerVote, core::CertMode::kAggregate})
+        .seeds({1, 2});
+  }
   throw std::invalid_argument("unknown matrix '" + name +
                               "' (expected: smoke, full, byzantine,"
-                              " validity, certs)");
+                              " validity, certs, committee)");
 }
 
 }  // namespace valcon::harness

@@ -71,6 +71,10 @@ struct SweepPoint {
   /// matrix declares the cert axis non-trivially (anything but the single
   /// per-vote default), empty otherwise.
   std::string cert_tag;
+  /// Topology tag, same wire gate: the topology name when the matrix
+  /// declares the topology axis non-trivially (anything but the single
+  /// full-mesh default), empty otherwise.
+  std::string topology_tag;
   /// Wire-format gate for the near-miss axis (same convention as the tags
   /// above): true only when the matrix opted in via record_near_miss(), so
   /// legacy outcome lines never grow the new fields.
@@ -115,6 +119,12 @@ class ScenarioMatrix {
   /// with the same loud-failure contract as keep_patterns — this is what
   /// `valcon_sweep --cert-modes` calls.
   ScenarioMatrix& keep_cert_modes(const std::vector<std::string>& keep);
+  /// Topology names (named_topology(): "full-mesh" / "committee-<k>");
+  /// default {"full-mesh"}, the legacy everyone-runs-the-stack shape.
+  ScenarioMatrix& topologies(std::vector<std::string> names);
+  /// Keeps only the named topologies, with the same loud-failure contract
+  /// as keep_patterns — this is what `valcon_sweep --topologies` calls.
+  ScenarioMatrix& keep_topologies(const std::vector<std::string>& keep);
   ScenarioMatrix& gsts(std::vector<Time> v);
   ScenarioMatrix& deltas(std::vector<Time> v);
   ScenarioMatrix& seeds(std::vector<std::uint64_t> v);
@@ -140,8 +150,8 @@ class ScenarioMatrix {
   /// O(1) random access into the cross product: decodes `index` as a
   /// mixed-radix number over the dimension sizes (nesting vc > validity >
   /// pattern > fault > size > net-profile > gst > delta > seed >
-  /// cert-mode, cert-mode fastest-varying — exactly the order build()
-  /// enumerates) and
+  /// cert-mode > topology, topology fastest-varying — exactly the order
+  /// build() enumerates) and
   /// constructs that one cell. This is what makes 1e6+-cell matrices
   /// tractable: a shard enumerates its slice cell by cell without ever
   /// materializing the full point vector, and the index ↔ cell mapping is
@@ -165,6 +175,7 @@ class ScenarioMatrix {
   std::vector<std::pair<int, int>> sizes_{{4, 1}};
   std::vector<std::string> net_profiles_{"uniform"};
   std::vector<core::CertMode> cert_modes_{core::CertMode::kPerVote};
+  std::vector<std::string> topologies_{"full-mesh"};
   std::vector<Time> gsts_{0.0};
   std::vector<Time> deltas_{1.0};
   std::vector<std::uint64_t> seeds_{1};
@@ -266,7 +277,15 @@ class SweepRunner {
 ///                 (7,2)}, two seeds: the cert_mode coverage matrix. The
 ///                 cert axis is non-trivial, so its cells carry the
 ///                 cert_mode wire field — the pinned legacy matrices never
-///                 do.
+///                 do;
+///   "committee" — the large-n topology matrix: all stacks x committee
+///                 topologies (k in {4, 7, 10}) x both certificate
+///                 backends x fault-free / crash at n in {50, 100, 200}
+///                 (faults land on the highest ids, i.e. listeners), two
+///                 seeds, unanimous proposals. The topology and cert axes
+///                 are non-trivial, so its cells carry the topology and
+///                 cert_mode wire fields; test_topology pins its job-count
+///                 determinism.
 /// Throws std::invalid_argument for unknown names.
 [[nodiscard]] ScenarioMatrix named_matrix(const std::string& name);
 

@@ -218,6 +218,9 @@ std::string outcome_line(const SweepOutcome& o) {
   if (!o.point.cert_tag.empty()) {
     os << "\"cert_mode\": \"" << json_escape(o.point.cert_tag) << "\", ";
   }
+  if (!o.point.topology_tag.empty()) {
+    os << "\"topology\": \"" << json_escape(o.point.topology_tag) << "\", ";
+  }
   os << "\"faults\": [";
   bool first = true;
   for (const auto& [pid, fault] : cfg.faults) {
@@ -485,7 +488,7 @@ void merge_documents(std::ostream& os, std::vector<ShardDocument> docs) {
 bool Checkpoint::same_work(const Checkpoint& other) const {
   return matrix == other.matrix && strategies == other.strategies &&
          patterns == other.patterns && net_profiles == other.net_profiles &&
-         cert_modes == other.cert_modes &&
+         cert_modes == other.cert_modes && topologies == other.topologies &&
          shard.index == other.shard.index &&
          shard.count == other.shard.count && total == other.total &&
          begin == other.begin && end == other.end;
@@ -497,7 +500,8 @@ std::string Checkpoint::to_json() const {
      << json_escape(strategies) << "\", \"patterns\": \""
      << json_escape(patterns) << "\", \"net_profiles\": \""
      << json_escape(net_profiles) << "\", \"cert_modes\": \""
-     << json_escape(cert_modes) << "\", \"shard_index\": " << shard.index
+     << json_escape(cert_modes) << "\", \"topologies\": \""
+     << json_escape(topologies) << "\", \"shard_index\": " << shard.index
      << ", \"shard_count\": " << shard.count << ", \"total\": " << total
      << ", \"begin\": " << begin << ", \"end\": " << end
      << ", \"next\": " << next << ", \"sidecar_bytes\": " << sidecar_bytes
@@ -519,6 +523,7 @@ Checkpoint Checkpoint::parse(const std::string& text) {
   cp.patterns = string_field(text, "patterns").value_or("");
   cp.net_profiles = string_field(text, "net_profiles").value_or("");
   cp.cert_modes = string_field(text, "cert_modes").value_or("");
+  cp.topologies = string_field(text, "topologies").value_or("");
   cp.shard.index =
       static_cast<int>(size_field_or_throw(text, "shard_index", "checkpoint"));
   cp.shard.count =

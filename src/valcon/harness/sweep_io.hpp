@@ -155,12 +155,13 @@ struct Checkpoint {
   std::string matrix;
   std::string strategies;  // canonical comma-join of the --strategies list
   /// Canonical comma-joins of the --patterns / --net-profiles /
-  /// --cert-modes filters. Absent from checkpoint files predating the
-  /// corresponding axis; parse() defaults each to "" (no filter), so old
-  /// checkpoints keep resuming.
+  /// --cert-modes / --topologies filters. Absent from checkpoint files
+  /// predating the corresponding axis; parse() defaults each to "" (no
+  /// filter), so old checkpoints keep resuming.
   std::string patterns;
   std::string net_profiles;
   std::string cert_modes;
+  std::string topologies;
   ShardSpec shard;
   std::size_t total = 0;
   std::size_t begin = 0;

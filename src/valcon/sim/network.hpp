@@ -12,12 +12,18 @@
 // faulty senders — the network is reliable between correct processes), and
 // a custom delay policy hook.
 //
-// The per-link state lives in dense n x n arrays sized at construction (n
-// is small and fixed for a run), so the per-message arrival_time query is
-// branch-and-index only — no tree walks, no allocation. Installing a hold
-// or block validates the ids; arrival_time assumes in-range ids (its only
-// caller, Simulator::do_send, validates the destination and owns the
-// source).
+// The per-link state is hybrid: below kDenseThreshold the tables are dense
+// n x n arrays (branch-and-index on the hot path, exactly as before), above
+// it they are hash maps keyed by the same row-major link index so memory is
+// O(active links) instead of O(n^2) at n in the thousands. Either way the
+// arrays/maps are allocated lazily on the first hold()/block() — a clean
+// run (no adversary) pays zero bytes and skips the lookup entirely via the
+// any_holds_/any_blocks_ flags. An absent entry means "no hold" (kNoHold,
+// -infinity) / "not blocked", so the two backends are observably identical;
+// tests force Storage::kSparse at small n and compare verbatim against
+// dense. arrival_time assumes in-range ids (its only caller,
+// Simulator::do_send, validates the destination and owns the source);
+// installing a hold or block validates the ids.
 #pragma once
 
 #include <cstdint>
@@ -26,6 +32,8 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -47,15 +55,27 @@ struct NetworkConfig {
 
 class Network {
  public:
+  /// Link-table backend. kAuto picks dense arrays at n <= kDenseThreshold
+  /// and sparse hash storage above; the explicit values exist so property
+  /// tests can run the sparse structure at small n in lockstep against the
+  /// dense one. Both are lazy: nothing is allocated until the first
+  /// hold()/block().
+  enum class Storage { kAuto, kDense, kSparse };
+
+  /// Largest n for which kAuto keeps the dense n x n tables. 64 x 64 links
+  /// is 40 KiB of hold floors — cheap; past that the quadratic tables
+  /// dominate a run's footprint while sweeps rarely touch more than a few
+  /// hundred links.
+  static constexpr int kDenseThreshold = 64;
+
   /// `n` fixes the process-id space [0, n) the per-link tables cover.
-  Network(NetworkConfig config, int n, std::uint64_t seed)
+  Network(NetworkConfig config, int n, std::uint64_t seed,
+          Storage storage = Storage::kAuto)
       : config_(config),
         n_(n),
         rng_(seed),
-        holds_(static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
-               kNoHold),
-        blocked_(static_cast<std::size_t>(n) * static_cast<std::size_t>(n),
-                 0) {}
+        dense_(storage == Storage::kDense ||
+               (storage == Storage::kAuto && n <= kDenseThreshold)) {}
 
   [[nodiscard]] const NetworkConfig& config() const { return config_; }
 
@@ -64,7 +84,18 @@ class Network {
   /// hold on the same link overwrites the earlier one. Throws
   /// std::out_of_range for ids outside [0, n).
   void hold(ProcessId from, ProcessId to, Time until) {
-    holds_[link(from, to)] = until;
+    const std::size_t idx = link(from, to);
+    if (dense_) {
+      if (holds_.empty()) {
+        holds_.assign(
+            static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_),
+            kNoHold);
+      }
+      holds_[idx] = until;
+    } else {
+      sparse_holds_[idx] = until;
+    }
+    any_holds_ = true;
   }
 
   /// Symmetric hold between two groups of processes.
@@ -81,7 +112,19 @@ class Network {
   /// Permanently drop messages from `from` to `to`. Only legal when `from`
   /// is faulty (the caller asserts that; the network is reliable between
   /// correct processes). Throws std::out_of_range for ids outside [0, n).
-  void block(ProcessId from, ProcessId to) { blocked_[link(from, to)] = 1; }
+  void block(ProcessId from, ProcessId to) {
+    const std::size_t idx = link(from, to);
+    if (dense_) {
+      if (blocked_.empty()) {
+        blocked_.assign(
+            static_cast<std::size_t>(n_) * static_cast<std::size_t>(n_), 0);
+      }
+      blocked_[idx] = 1;
+    } else {
+      sparse_blocked_.insert(idx);
+    }
+    any_blocks_ = true;
+  }
 
   /// Optional custom policy: returns the desired arrival time for a message
   /// (before clamping to the model bounds), or nullopt to use the default.
@@ -97,7 +140,9 @@ class Network {
     const std::size_t idx = static_cast<std::size_t>(from) *
                                 static_cast<std::size_t>(n_) +
                             static_cast<std::size_t>(to);
-    if (blocked_[idx] != 0) return std::nullopt;
+    // The blocked check must stay ahead of any Rng consumption: a dropped
+    // message draws no randomness, and the pinned sweeps depend on that.
+    if (any_blocks_ && is_blocked(idx)) return std::nullopt;
     const Time lower = send_time + config_.min_delay;
     const Time upper = model_bound(send_time);
 
@@ -116,9 +161,10 @@ class Network {
           lower, std::min(upper, send_time + config_.default_pre_gst_cap));
       arrival = rng_.uniform(lower, cap);
     }
-    // kNoHold is -infinity, so an un-held link takes the max unchanged —
-    // the same semantics as the old map lookup, without the branch.
-    arrival = std::max(arrival, holds_[idx]);
+    // kNoHold is -infinity, so an un-held link takes the max unchanged;
+    // skipping the lookup when no hold was ever installed is therefore
+    // observably identical, not a shortcut.
+    if (any_holds_) arrival = std::max(arrival, hold_floor(idx));
     if (arrival < lower) arrival = lower;
     if (arrival > upper) arrival = upper;
     return arrival;
@@ -129,8 +175,35 @@ class Network {
     return std::max(send_time, config_.gst) + config_.delta;
   }
 
+  /// True when this instance uses the dense n x n tables (kAuto resolved at
+  /// construction). Exposed for the hybrid-equivalence tests.
+  [[nodiscard]] bool dense_storage() const { return dense_; }
+
+  /// Bytes held by the link tables right now — 0 until the first
+  /// hold()/block(), O(active links) in sparse mode. Approximate for the
+  /// hash backend (buckets are not counted); used by tests and benches to
+  /// pin the lazy/sparse behavior, not for accounting.
+  [[nodiscard]] std::size_t link_table_bytes() const {
+    std::size_t bytes = holds_.capacity() * sizeof(Time) +
+                        blocked_.capacity() * sizeof(std::uint8_t);
+    bytes += sparse_holds_.size() * (sizeof(std::size_t) + sizeof(Time));
+    bytes += sparse_blocked_.size() * sizeof(std::size_t);
+    return bytes;
+  }
+
  private:
   static constexpr Time kNoHold = -std::numeric_limits<Time>::infinity();
+
+  [[nodiscard]] bool is_blocked(std::size_t idx) const {
+    if (dense_) return blocked_[idx] != 0;
+    return sparse_blocked_.count(idx) != 0;
+  }
+
+  [[nodiscard]] Time hold_floor(std::size_t idx) const {
+    if (dense_) return holds_[idx];
+    const auto it = sparse_holds_.find(idx);
+    return it == sparse_holds_.end() ? kNoHold : it->second;
+  }
 
   /// Row-major (from, to) index with validation — the mutation surface
   /// (hold/block) goes through here; arrival_time trusts its caller.
@@ -147,8 +220,15 @@ class Network {
   NetworkConfig config_;
   int n_;
   Rng rng_;
-  std::vector<Time> holds_;           // n x n, kNoHold when un-held
-  std::vector<std::uint8_t> blocked_;  // n x n, 0 / 1
+  bool dense_;
+  bool any_holds_ = false;   // false => no hold lookup at all
+  bool any_blocks_ = false;  // false => no blocked lookup at all
+  std::vector<Time> holds_;            // dense backend, lazily sized n x n
+  std::vector<std::uint8_t> blocked_;  // dense backend, lazily sized n x n
+  // Sparse backend: keyed by the same row-major link index. Lookup-only on
+  // the hot path (never iterated), so unordered storage stays deterministic.
+  std::unordered_map<std::size_t, Time> sparse_holds_;
+  std::unordered_set<std::size_t> sparse_blocked_;
   DelayPolicy policy_;
 };
 

@@ -211,7 +211,8 @@ TEST(NetworkProfiles, EveryProfileStillReachesConsensusUnderEveryStack) {
   std::map<std::string, Time> latency;
   for (const VcKind kind : kAllVcs) {
     for (const std::string& name :
-         {"uniform", "pre-gst-starve", "targeted-slow-links"}) {
+         {"uniform", "pre-gst-starve", "targeted-slow-links",
+          "sampled-overlay"}) {
       SCOPED_TRACE(harness::to_string(kind) + " / " + name);
       ScenarioConfig cfg;
       cfg.n = 4;

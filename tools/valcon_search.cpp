@@ -8,7 +8,8 @@
 //                 [--jobs N] [--sizes n/t,n/t,...] [--strategies a,b,...]
 //                 [--vcs auth,nonauth,fast] [--validities a,b,...]
 //                 [--patterns a,b,...] [--net-profiles a,b,...]
-//                 [--cert-modes per-vote,aggregate] [--gsts x,y,...]
+//                 [--cert-modes per-vote,aggregate]
+//                 [--topologies full-mesh,committee-<k>,...] [--gsts x,y,...]
 //                 [--deltas x,y,...] [--domains d,...]
 //                 [--seed-tries N] [--no-shrink] [--out FILE]
 //                 [--emit-dir DIR] [--quiet]
@@ -49,7 +50,8 @@ int usage(const char* argv0) {
          " [--sizes n/t,...] [--strategies a,b,...]"
          " [--vcs auth,nonauth,fast] [--validities a,b,...]"
          " [--patterns a,b,...] [--net-profiles a,b,...]"
-         " [--cert-modes per-vote,aggregate] [--gsts x,...]"
+         " [--cert-modes per-vote,aggregate]"
+         " [--topologies full-mesh,committee-<k>,...] [--gsts x,...]"
          " [--deltas x,...] [--domains d,...] [--seed-tries N]"
          " [--no-shrink] [--out FILE] [--emit-dir DIR] [--quiet]\n";
   return 2;
@@ -155,6 +157,17 @@ int main(int argc, char** argv) {
           return 2;
         }
         options.space.cert_modes.push_back(*mode);
+      }
+    } else if (arg == "--topologies" && i + 1 < argc) {
+      options.space.topologies.clear();
+      for (const std::string& item : io::split_csv(value())) {
+        try {
+          static_cast<void>(named_topology(item));
+        } catch (const std::exception& e) {
+          std::cerr << "error: --topologies: " << e.what() << "\n";
+          return 2;
+        }
+        options.space.topologies.push_back(item);
       }
     } else if (arg == "--gsts" && i + 1 < argc) {
       options.space.gsts.clear();

@@ -2,17 +2,19 @@
 // of it) and emits the per-scenario results plus an aggregate summary as
 // JSON.
 //
-//   valcon_sweep [--matrix smoke|full|byzantine|validity|certs]
+//   valcon_sweep [--matrix smoke|full|byzantine|validity|certs|committee]
 //                [--strategies a,b,...] [--patterns a,b,...]
 //                [--net-profiles a,b,...] [--cert-modes a,b,...]
+//                [--topologies a,b,...]
 //                [--jobs N] [--shard I/M]
 //                [--checkpoint FILE] [--stop-after K] [--out FILE]
 //                [--timing FILE] [--quiet]
 //
 // --strategies filters the matrix's fault dimension to the named adversary
 // strategies ("none" selects the fault-free cells); --patterns,
-// --net-profiles and --cert-modes filter the proposal-pattern,
-// network-profile and certificate-backend dimensions the same way. Unknown names abort with the list of what is
+// --net-profiles, --cert-modes and --topologies filter the
+// proposal-pattern, network-profile, certificate-backend and topology
+// dimensions the same way. Unknown names abort with the list of what is
 // registered; a name the matrix does not sweep aborts too (nothing
 // requested is dropped silently).
 //
@@ -61,9 +63,10 @@ namespace {
 
 int usage(const char* argv0) {
   std::cerr << "usage: " << argv0
-            << " [--matrix smoke|full|byzantine|validity|certs]"
+            << " [--matrix smoke|full|byzantine|validity|certs|committee]"
                " [--strategies a,b,...] [--patterns a,b,...]"
                " [--net-profiles a,b,...] [--cert-modes a,b,...]"
+               " [--topologies a,b,...]"
                " [--jobs N] [--shard I/M]"
                " [--checkpoint FILE] [--stop-after K] [--out FILE]"
                " [--timing FILE] [--quiet]\n";
@@ -139,6 +142,7 @@ int main(int argc, char** argv) {
   std::string patterns_csv;
   std::string net_profiles_csv;
   std::string cert_modes_csv;
+  std::string topologies_csv;
   std::string out_path;
   std::string checkpoint_path;
   std::string timing_path;
@@ -158,6 +162,8 @@ int main(int argc, char** argv) {
       net_profiles_csv = argv[++i];
     } else if (arg == "--cert-modes" && i + 1 < argc) {
       cert_modes_csv = argv[++i];
+    } else if (arg == "--topologies" && i + 1 < argc) {
+      topologies_csv = argv[++i];
     } else if (arg == "--jobs" && i + 1 < argc) {
       // Strict parse: "--jobs abc" / "--jobs -3" used to become 1 job
       // silently via atoi.
@@ -206,6 +212,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> patterns;
   std::vector<std::string> net_profiles;
   std::vector<std::string> cert_modes;
+  std::vector<std::string> topologies;
   try {
     matrix = named_matrix(matrix_name);
     if (!strategies_csv.empty()) {
@@ -223,6 +230,10 @@ int main(int argc, char** argv) {
     if (!cert_modes_csv.empty()) {
       cert_modes = io::split_csv(cert_modes_csv);
       matrix.keep_cert_modes(cert_modes);
+    }
+    if (!topologies_csv.empty()) {
+      topologies = io::split_csv(topologies_csv);
+      matrix.keep_topologies(topologies);
     }
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
@@ -250,6 +261,7 @@ int main(int argc, char** argv) {
   cp.patterns = sorted_join(patterns);
   cp.net_profiles = sorted_join(net_profiles);
   cp.cert_modes = sorted_join(cert_modes);
+  cp.topologies = sorted_join(topologies);
   cp.shard = shard.value_or(io::ShardSpec{0, 1});
   cp.total = total;
   cp.begin = range.begin;
@@ -266,8 +278,8 @@ int main(int argc, char** argv) {
         if (!loaded.same_work(cp)) {
           std::cerr << "error: checkpoint " << checkpoint_path
                     << " records different work (matrix, --strategies,"
-                       " --patterns, --net-profiles, --cert-modes or shard"
-                       " mismatch);"
+                       " --patterns, --net-profiles, --cert-modes,"
+                       " --topologies or shard mismatch);"
                        " delete it or rerun the original invocation\n";
           return 2;
         }
